@@ -1,0 +1,84 @@
+"""Ablation E: the one-to-many broadcast event (§7 future work).
+
+"There are currently no optimizations regarding one-to-many data
+transfers ... We are currently working to automatically detect such
+communication cases using the task graph itself, implementing a
+broadcast event that can distribute the data to many nodes without any
+intervention from the head node at each communication."
+
+We implemented that extension (:meth:`EventSystem.broadcast`).  This
+bench compares distributing one buffer from a worker to N workers via
+N point-to-point exchange events (the paper's current state) against a
+single binomial-tree broadcast event.
+"""
+
+from __future__ import annotations
+
+from figutil import BANDWIDTH  # noqa: F401
+from repro.bench.report import format_table
+from repro.cluster.machine import Cluster, ClusterSpec, NetworkSpec
+from repro.core.config import OMPCConfig
+from repro.core.events import EventSystem
+from repro.mpi.comm import MpiWorld
+from repro.util.units import MB
+
+
+def distribute(nodes: int, nbytes: float, use_broadcast: bool) -> float:
+    cluster = Cluster(
+        ClusterSpec(num_nodes=nodes + 2, network=NetworkSpec(vcis=4))
+    )
+    mpi = MpiWorld(cluster)
+    events = EventSystem(cluster, mpi, OMPCConfig(broadcast_events=use_broadcast))
+    events.start()
+    src = 1
+    dsts = list(range(2, nodes + 2))
+
+    def main_proc():
+        yield from events.submit(src, 0, None, nbytes)
+        if use_broadcast:
+            yield from events.broadcast(src, dsts, 0, nbytes)
+        else:
+            for dst in dsts:
+                yield from events.exchange(src, dst, 0, nbytes)
+        yield from events.shutdown()
+
+    proc = cluster.sim.process(main_proc(), name="driver")
+    cluster.sim.run(until=proc)
+    return cluster.sim.now
+
+
+class TestAblationBroadcast:
+    def test_bench_broadcast_beats_serial_exchanges(self, benchmark):
+        def sweep():
+            return {
+                "p2p": distribute(8, 64 * MB, use_broadcast=False),
+                "broadcast": distribute(8, 64 * MB, use_broadcast=True),
+            }
+
+        times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # The binomial tree parallelizes the fan-out (log2 depth) and
+        # removes per-destination head orchestration.
+        assert times["broadcast"] < times["p2p"] * 0.7
+
+
+def main() -> None:
+    rows = []
+    for n in (2, 4, 8, 16):
+        rows.append(
+            [
+                n,
+                distribute(n, 64 * MB, use_broadcast=False),
+                distribute(n, 64 * MB, use_broadcast=True),
+            ]
+        )
+    print(
+        format_table(
+            ["destinations", "p2p exchanges (s)", "broadcast event (s)"],
+            rows,
+            title="Ablation E — one-to-many distribution of a 64 MB buffer",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Extension ablation: the price of fault tolerance (§3.1).
+
+Two questions the paper's future-work section leaves open, answered on
+the simulated cluster:
+
+1. what does the heartbeat ring cost when nothing fails?
+2. what does one failure cost, as a function of how much work was in
+   flight when the node died?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.cluster.machine import ClusterSpec
+from repro.core import FaultTolerantRuntime, NodeFailure, OMPCRuntime
+from repro.omp import OmpProgram
+from repro.omp.task import depend_in, depend_out
+
+
+def shots_program(num_shots: int, cost: float):
+    prog = OmpProgram()
+    model = np.zeros(64)
+    model_buf = prog.buffer(model.nbytes, data=model, name="model")
+    prog.target_enter_data(model_buf)
+    for i in range(num_shots):
+        buf = prog.buffer(512, name=f"o{i}")
+        prog.target(
+            depend=[depend_in(model_buf), depend_out(buf)],
+            cost=cost, name=f"shot{i}",
+        )
+    return prog
+
+
+class TestAblationFaults:
+    def test_bench_heartbeat_overhead_negligible(self, benchmark):
+        def sweep():
+            plain = OMPCRuntime(ClusterSpec(num_nodes=5)).run(
+                shots_program(8, 0.1)
+            )
+            ft = FaultTolerantRuntime(ClusterSpec(num_nodes=5)).run(
+                shots_program(8, 0.1)
+            )
+            return plain.makespan, ft.makespan
+
+        plain, ft = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # Heartbeats are tiny control messages; < 5% overhead.
+        assert ft < plain * 1.05
+
+    def test_bench_recovery_cost_scales_with_lost_work(self, benchmark):
+        def sweep():
+            out = {}
+            for when in (0.05, 0.15):
+                res = FaultTolerantRuntime(ClusterSpec(num_nodes=5)).run(
+                    shots_program(8, 0.2),
+                    failures=[NodeFailure(time=when, node=1)],
+                )
+                out[when] = res.makespan
+            base = FaultTolerantRuntime(ClusterSpec(num_nodes=5)).run(
+                shots_program(8, 0.2)
+            )
+            out["none"] = base.makespan
+            return out
+
+        times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        assert times[0.05] > times["none"]
+        assert times[0.15] > times["none"]
+
+
+def main() -> None:
+    rows = []
+    plain = OMPCRuntime(ClusterSpec(num_nodes=5)).run(shots_program(8, 0.2))
+    rows.append(["plain OMPC, no failures", plain.makespan])
+    ft = FaultTolerantRuntime(ClusterSpec(num_nodes=5)).run(shots_program(8, 0.2))
+    rows.append(["FT runtime, no failures", ft.makespan])
+    for when in (0.05, 0.15, 0.3):
+        res = FaultTolerantRuntime(ClusterSpec(num_nodes=5)).run(
+            shots_program(8, 0.2), failures=[NodeFailure(time=when, node=1)]
+        )
+        rows.append([f"FT, node 1 dies at t={when * 1e3:.0f}ms", res.makespan])
+    print(
+        format_table(
+            ["configuration", "makespan (s)"],
+            rows,
+            title="Ablation F — fault-tolerance cost (8 x 200ms shots, 4 workers)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Ablation A: HEFT versus baseline schedulers (§4.4).
+
+The paper adopts static HEFT because dynamic/naive placement "incurs
+transferring data over the network whenever one process steals a task
+from another".  This bench quantifies that choice by swapping OMPC's
+scheduler while keeping everything else fixed: a communication-heavy
+stencil graph where locality is the whole game.
+"""
+
+from __future__ import annotations
+
+from figutil import BANDWIDTH
+from repro.bench.report import format_table
+from repro.cluster.machine import ClusterSpec
+from repro.core import OMPCRuntime
+from repro.core.scheduler import (
+    HeftScheduler,
+    MinLoadScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.taskbench import KernelSpec, Pattern, TaskBenchSpec, build_omp_program
+
+SCHEDULERS = {
+    "HEFT": HeftScheduler,
+    "min-load": MinLoadScheduler,
+    "round-robin": RoundRobinScheduler,
+    "random": lambda: RandomScheduler(seed=0),
+}
+
+
+def run_with(scheduler_name: str, nodes: int = 8) -> float:
+    spec = TaskBenchSpec.with_ccr(
+        16, 16, Pattern.STENCIL_1D, KernelSpec.paper_50ms(), 1.0, BANDWIDTH
+    )
+    program = build_omp_program(spec)
+    runtime = OMPCRuntime(
+        ClusterSpec(num_nodes=nodes), scheduler=SCHEDULERS[scheduler_name]()
+    )
+    return runtime.run(program).makespan
+
+
+class TestAblationScheduler:
+    def test_bench_heft_beats_locality_blind_baselines(self, benchmark):
+        def sweep():
+            return {name: run_with(name) for name in SCHEDULERS}
+
+        times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # HEFT's locality-aware placement must beat the baselines that
+        # ignore communication entirely.
+        assert times["HEFT"] < times["round-robin"]
+        assert times["HEFT"] < times["random"]
+        assert times["HEFT"] <= times["min-load"] * 1.05
+
+
+def main() -> None:
+    rows = [[name, run_with(name)] for name in SCHEDULERS]
+    print(
+        format_table(
+            ["scheduler", "makespan (s)"],
+            rows,
+            title="Ablation A — scheduler choice (stencil 16x16, 8 nodes, CCR 1.0)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Figure 4: Task Bench dependency patterns.
+
+The paper's Fig. 4 illustrates the four dependency types (trivial,
+stencil-1d, fft, tree).  Script mode prints each pattern's adjacency at
+width 8 — the textual version of the figure.  Bench mode times full
+graph materialization and checks the structural properties.
+"""
+
+from __future__ import annotations
+
+from figutil import fig6_spec
+from repro.taskbench import Pattern, build_omp_program, dependencies
+
+
+def render_pattern(pattern: Pattern, width: int = 8, steps: int = 4) -> str:
+    lines = [f"-- {pattern.value} (width={width}) --"]
+    for step in range(1, steps):
+        row = [
+            f"{point}<-{','.join(map(str, dependencies(pattern, width, step, point))) or '-'}"
+            for point in range(width)
+        ]
+        lines.append(f"step {step}: " + "  ".join(row))
+    return "\n".join(lines)
+
+
+class TestFig4:
+    def test_bench_graph_materialization(self, benchmark):
+        """Build the Fig. 6 task graph (16x16) for every paper pattern."""
+
+        def build_all():
+            return [
+                len(build_omp_program(fig6_spec(p, 1.0)).graph)
+                for p in Pattern.paper_patterns()
+            ]
+
+        sizes = benchmark(build_all)
+        assert sizes == [256, 256, 256, 256]
+
+    def test_bench_dependency_enumeration(self, benchmark):
+        """Enumerate every dependence of a 128-wide, 32-step fft grid."""
+
+        def count_edges():
+            return sum(
+                len(dependencies(Pattern.FFT, 128, s, p))
+                for s in range(32)
+                for p in range(128)
+            )
+
+        edges = benchmark(count_edges)
+        assert edges == 128 * 31 * 2  # every fft task has 2 inputs
+
+
+def main() -> None:
+    for pattern in Pattern.paper_patterns():
+        print(render_pattern(pattern))
+        print()
+
+
+if __name__ == "__main__":
+    main()

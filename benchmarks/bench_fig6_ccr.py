@@ -1,0 +1,94 @@
+"""Figure 6: execution time across Computation-to-Communication Ratios.
+
+Setup (§6.2): 16 nodes, 16x16 task graph, 100M iterations (500 ms) per
+task, CCR in {0.5, 1.0, 2.0}, four patterns, four runtimes.
+
+Expected shapes (paper): OMPC matches or beats Charm++ on tree/
+stencil/fft at every CCR (average speedups 1.53x/1.34x/1.41x); Charm++
+collapses when communication dominates (CCR 0.5); OMPC's variability
+across CCR stays similar to StarPU's and MPI's; MPI/StarPU fastest.
+"""
+
+from __future__ import annotations
+
+from figutil import RUNTIME_ORDER, fig6_spec, run_cell
+from repro.bench.report import format_series
+from repro.bench.stats import geometric_mean
+from repro.taskbench import Pattern
+
+NODES = 16
+CCRS = (0.5, 1.0, 2.0)
+
+
+class TestFig6:
+    def test_bench_ccr_sweep_stencil(self, benchmark):
+        def sweep():
+            return {
+                ccr: {
+                    name: run_cell(name, fig6_spec(Pattern.STENCIL_1D, ccr), NODES)
+                    for name in RUNTIME_ORDER
+                }
+                for ccr in CCRS
+            }
+
+        times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        for ccr in CCRS:
+            assert times[ccr]["OMPC"] < times[ccr]["Charm++"]
+            assert times[ccr]["MPI"] < times[ccr]["OMPC"]
+        # Charm++ collapses as communication grows; OMPC degrades
+        # gracefully, with variability comparable to MPI's.
+        charm_spread = times[0.5]["Charm++"] / times[2.0]["Charm++"]
+        ompc_spread = times[0.5]["OMPC"] / times[2.0]["OMPC"]
+        assert charm_spread > ompc_spread
+
+    def test_bench_ompc_beats_charm_on_paper_patterns(self, benchmark):
+        def sweep():
+            speedups = {}
+            for pattern in (Pattern.TREE, Pattern.STENCIL_1D, Pattern.FFT):
+                ratios = []
+                for ccr in CCRS:
+                    spec = fig6_spec(pattern, ccr)
+                    ratios.append(
+                        run_cell("Charm++", spec, NODES)
+                        / run_cell("OMPC", spec, NODES)
+                    )
+                speedups[pattern.value] = geometric_mean(ratios)
+            return speedups
+
+        speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # Paper: 1.53x (tree), 1.34x (stencil), 1.41x (fft).  Shape
+        # check: all comfortably above 1x, below 4x.
+        for pattern, s in speedups.items():
+            assert 1.05 < s < 4.0, (pattern, s)
+
+    def test_bench_trivial_pattern_parity(self, benchmark):
+        """No communication -> all runtimes converge."""
+        spec = fig6_spec(Pattern.TRIVIAL, 1.0)
+
+        def cell():
+            return [run_cell(name, spec, NODES) for name in RUNTIME_ORDER]
+
+        times = benchmark.pedantic(cell, rounds=1, iterations=1)
+        assert max(times) / min(times) < 1.1
+
+
+def main() -> None:
+    for pattern in Pattern.paper_patterns():
+        series = {name: [] for name in RUNTIME_ORDER}
+        for ccr in CCRS:
+            spec = fig6_spec(pattern, ccr)
+            for name in RUNTIME_ORDER:
+                series[name].append(run_cell(name, spec, NODES))
+        print(
+            format_series(
+                "ccr",
+                CCRS,
+                series,
+                title=f"Figure 6 — {pattern.value} (16 nodes, 16x16, 500ms)",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

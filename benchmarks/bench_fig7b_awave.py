@@ -1,0 +1,94 @@
+"""Figure 7(b): Awave weak scaling on Sigsbee- and Marmousi-like models.
+
+Setup (§6.2): one shot per worker node, nodes from 1 to 16, speedup
+relative to the single-worker run.  Expected shape: both models stay
+close to the ideal (linear) speedup because shot tasks are coarse
+enough to amortize every runtime overhead.
+
+Weak-scaling speedup here is ``n x T(1) / T(n)``: with one shot per
+worker, perfect scaling keeps T(n) = T(1), giving speedup n.
+"""
+
+from __future__ import annotations
+
+from figutil import BANDWIDTH  # noqa: F401  (kept for parity with sibling benches)
+from repro.apps.awave import marmousi_like, run_awave, sigsbee_like
+from repro.bench.report import format_series
+
+WORKER_COUNTS = (1, 2, 4, 8, 16)
+
+
+def weak_scaling_speedups(model, worker_counts=WORKER_COUNTS) -> list[float]:
+    makespans = {
+        n: run_awave(model, num_workers=n, compute_images=False).makespan
+        for n in worker_counts
+    }
+    t1 = makespans[worker_counts[0]]
+    return [n * t1 / makespans[n] for n in worker_counts]
+
+
+class TestFig7b:
+    def test_bench_sigsbee_weak_scaling(self, benchmark):
+        model = sigsbee_like(nx=100, nz=60)
+
+        def sweep():
+            return weak_scaling_speedups(model)
+
+        speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        for n, s in zip(WORKER_COUNTS, speedups):
+            assert s > 0.85 * n, (n, s)
+
+    def test_bench_marmousi_weak_scaling(self, benchmark):
+        model = marmousi_like(nx=100, nz=60)
+
+        def sweep():
+            return weak_scaling_speedups(model)
+
+        speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        for n, s in zip(WORKER_COUNTS, speedups):
+            assert s > 0.85 * n, (n, s)
+
+    def test_bench_real_imaging_small(self, benchmark):
+        """End-to-end distributed RTM with actual image computation."""
+        import numpy as np
+
+        from repro.apps.awave import RtmConfig
+
+        model = sigsbee_like(nx=60, nz=40)
+
+        def cell():
+            return run_awave(
+                model,
+                num_workers=2,
+                config=RtmConfig(nt=150, snapshot_every=5),
+            )
+
+        res = benchmark.pedantic(cell, rounds=1, iterations=1)
+        assert np.isfinite(res.image).all()
+        assert np.abs(res.image).max() > 0
+
+
+def main() -> None:
+    series = {}
+    for name, model in (
+        ("Sigsbee-like", sigsbee_like(nx=100, nz=60)),
+        ("Marmousi-like", marmousi_like(nx=100, nz=60)),
+        ("ideal", None),
+    ):
+        if model is None:
+            series[name] = [float(n) for n in WORKER_COUNTS]
+        else:
+            series[name] = weak_scaling_speedups(model)
+    print(
+        format_series(
+            "nodes",
+            WORKER_COUNTS,
+            series,
+            title="Figure 7(b) — Awave weak-scaling speedup (1 shot/worker)",
+            unit="x",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

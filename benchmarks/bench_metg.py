@@ -1,0 +1,55 @@
+"""Extension: METG — Minimum Effective Task Granularity (Task Bench [31]).
+
+Condenses the Fig. 7a overhead analysis into Task Bench's headline
+metric: the smallest task duration at which each runtime still reaches
+50% efficiency.  The paper's observation that OMPC needs ">= 10 ms per
+task ... to get a small overhead" predicts OMPC's METG lands in the
+millisecond range while the thin MPI baseline tolerates far finer
+tasks.
+"""
+
+from __future__ import annotations
+
+from figutil import RUNTIMES
+from repro.bench.report import format_table
+from repro.taskbench import Pattern
+from repro.taskbench.metg import find_metg
+
+NODES = 4
+
+
+def metg_for(runtime_name: str) -> float:
+    runtime = RUNTIMES[runtime_name]()
+    result = find_metg(
+        runtime, Pattern.NO_COMM, nodes=NODES, steps=4, ccr=4.0
+    )
+    return result.metg_seconds
+
+
+class TestMetg:
+    def test_bench_metg_ordering(self, benchmark):
+        def sweep():
+            return {name: metg_for(name) for name in ("MPI", "StarPU", "OMPC")}
+
+        metg = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # Thin MPI tolerates the finest tasks; StarPU's per-task runtime
+        # costs sit between; OMPC's constant startup/shutdown dominates.
+        assert metg["MPI"] < metg["StarPU"] <= metg["OMPC"]
+        # OMPC's METG is in the paper's granularity ballpark.
+        assert 1e-4 < metg["OMPC"] < 0.05
+
+
+def main() -> None:
+    rows = [[name, f"{metg_for(name) * 1e3:.3f} ms"]
+            for name in ("MPI", "StarPU", "Charm++", "OMPC")]
+    print(
+        format_table(
+            ["runtime", "METG (50% efficiency)"],
+            rows,
+            title=f"METG — no_comm chains, {NODES} nodes, CCR 4.0",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

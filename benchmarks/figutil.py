@@ -1,0 +1,55 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_fig*.py`` file has two entry points:
+
+* ``pytest benchmarks/ --benchmark-only`` runs a representative subset
+  of every figure's cells under pytest-benchmark (wall-clock of the
+  simulation) while asserting the paper's qualitative shapes;
+* ``python benchmarks/bench_figX_*.py`` regenerates the *full* figure,
+  printing the same series the paper plots (simulated seconds).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import ClusterSpec
+from repro.runtimes import (
+    CharmLikeRuntime,
+    MpiSyncRuntime,
+    OmpcRuntimeAdapter,
+    StarPULikeRuntime,
+)
+from repro.taskbench import KernelSpec, Pattern, TaskBenchSpec
+from repro.util.units import Gbps
+
+#: Reference fabric bandwidth for CCR-matched message sizing (§6.1).
+BANDWIDTH = Gbps(100.0)
+
+RUNTIMES = {
+    "OMPC": OmpcRuntimeAdapter,
+    "Charm++": CharmLikeRuntime,
+    "StarPU": StarPULikeRuntime,
+    "MPI": MpiSyncRuntime,
+}
+
+#: Figure order used in the paper's legends.
+RUNTIME_ORDER = ("MPI", "StarPU", "Charm++", "OMPC")
+
+
+def fig5_spec(pattern: Pattern, nodes: int) -> TaskBenchSpec:
+    """Fig. 5 cell: width 2n x 32 steps, 10M-iter (50 ms) tasks, CCR 1.0."""
+    return TaskBenchSpec.with_ccr(
+        2 * nodes, 32, pattern, KernelSpec.paper_50ms(), 1.0, BANDWIDTH
+    )
+
+
+def fig6_spec(pattern: Pattern, ccr: float) -> TaskBenchSpec:
+    """Fig. 6 cell: 16x16 graph, 100M-iter (500 ms) tasks, varying CCR."""
+    return TaskBenchSpec.with_ccr(
+        16, 16, pattern, KernelSpec.paper_500ms(), ccr, BANDWIDTH
+    )
+
+
+def run_cell(runtime_name: str, spec: TaskBenchSpec, nodes: int) -> float:
+    """Simulated makespan of one (runtime, spec, nodes) cell."""
+    runtime = RUNTIMES[runtime_name]()
+    return runtime.run(spec, ClusterSpec(num_nodes=nodes)).makespan

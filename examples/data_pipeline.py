@@ -1,0 +1,109 @@
+"""A multi-stage analytics pipeline on OMPC: map -> reduce -> report.
+
+Demonstrates the programming model beyond grid workloads: a fan-out /
+fan-in DAG mixing ``target`` tasks (distributed over workers by HEFT)
+with a classical ``task`` (pinned to the head node, per §4.4), and
+read-only broadcast-style inputs that the data manager replicates
+across workers without invalidation.
+
+Pipeline: N independent partitions of samples are normalized against a
+shared calibration table (map), partial statistics are combined
+pairwise (tree reduce), and a final classical task formats the report
+on the host.
+
+Run:  python examples/data_pipeline.py
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterSpec
+from repro.core import OMPCRuntime
+from repro.omp import OmpProgram
+from repro.omp.task import depend_in, depend_inout, depend_out
+from repro.util.rng import derive_rng
+
+
+def main() -> None:
+    partitions = 8
+    samples = 50_000
+    rng = derive_rng(42, "pipeline")
+
+    prog = OmpProgram("analytics-pipeline")
+
+    # Shared read-only calibration table: replicated on demand.
+    calibration = rng.normal(loc=2.0, scale=0.1, size=1024)
+    calib_buf = prog.buffer(calibration.nbytes, data=calibration, name="calib")
+    prog.target_enter_data(calib_buf)
+
+    # Map stage: normalize each partition, emit partial (n, sum, sumsq).
+    partials = []
+    for i in range(partitions):
+        raw = rng.normal(loc=10.0, scale=3.0, size=samples)
+        raw_buf = prog.buffer(raw.nbytes, data=raw, name=f"raw{i}")
+        partial = np.zeros(3)
+        part_buf = prog.buffer(partial.nbytes, data=partial, name=f"partial{i}")
+        partials.append(part_buf)
+
+        def normalize(calib, raw_data, out):
+            gain = calib.mean()
+            x = raw_data / gain
+            out[:] = (len(x), x.sum(), (x * x).sum())
+
+        prog.target(
+            fn=normalize,
+            depend=[depend_in(calib_buf), depend_in(raw_buf), depend_out(part_buf)],
+            cost=0.030,
+            name=f"map{i}",
+        )
+
+    # Reduce stage: pairwise tree combine (log2 depth).
+    level = partials
+    depth = 0
+    while len(level) > 1:
+        next_level = []
+        for j in range(0, len(level) - 1, 2):
+            left, right = level[j], level[j + 1]
+
+            def combine(a, b):
+                a += b
+
+            prog.target(
+                fn=combine,
+                depend=[depend_inout(left), depend_in(right)],
+                cost=0.005,
+                name=f"reduce{depth}.{j // 2}",
+            )
+            next_level.append(left)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+        depth += 1
+    root = level[0]
+
+    # Final classical task on the head: turn the stats into a report.
+    prog.target_exit_data(root)
+    report: dict = {}
+
+    def finalize(stats):
+        n, total, sumsq = stats
+        mean = total / n
+        var = sumsq / n - mean**2
+        report.update(n=int(n), mean=mean, std=float(np.sqrt(var)))
+
+    prog.task(fn=finalize, depend=[depend_in(root)], cost=0.001, name="report")
+
+    result = OMPCRuntime(ClusterSpec(num_nodes=5)).run(prog)
+
+    print(f"pipeline makespan: {result.makespan * 1e3:.1f} ms on 4 workers")
+    print(f"tasks executed   : {len(result.task_intervals)}")
+    print(f"report           : n={report['n']}, mean={report['mean']:.4f}, "
+          f"std={report['std']:.4f}")
+    # Ground truth: samples ~ N(10, 3) scaled by 1/~2.0.
+    expected_mean = 10.0 / calibration.mean()
+    assert abs(report["mean"] - expected_mean) < 0.05
+    print(f"matches expected mean {expected_mean:.4f} — the distributed "
+          "DAG computed the right answer.")
+
+
+if __name__ == "__main__":
+    main()

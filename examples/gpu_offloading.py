@@ -1,0 +1,68 @@
+"""Second-level offloading: cluster distribution + node-local GPUs.
+
+§7 of the paper: "allowing OpenMP directives to be used for cluster
+nodes distribution, and local accelerator programming using nested
+target regions."  This example runs the same shot workload twice on a
+GPU-equipped cluster — once on the workers' cores (48-way second-level
+parallelism) and once as nested target regions on their accelerators —
+and compares the timelines.
+
+Run:  python examples/gpu_offloading.py
+"""
+
+import numpy as np
+
+from repro.bench.gantt import render_gantt
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.core import OMPCRuntime
+from repro.omp import OmpProgram
+from repro.omp.task import depend_in, depend_out
+
+GPU_NODE = NodeSpec(
+    cores=48,
+    threads=96,
+    accelerators=1,          # one GPU per worker
+    accelerator_speed=200.0, # ~4x the 48-core node for these kernels
+    pcie_bandwidth=16e9,
+    pcie_latency=10e-6,
+)
+
+
+def build(use_gpu: bool, shots: int = 4):
+    prog = OmpProgram("gpu-demo")
+    model = np.linspace(1500.0, 4500.0, 4096)
+    model_buf = prog.buffer(model.nbytes, data=model, name="model")
+    prog.target_enter_data(model_buf)
+    for i in range(shots):
+        out = np.zeros_like(model)
+        buf = prog.buffer(out.nbytes, data=out, name=f"img{i}")
+        meta = {"device": "gpu"} if use_gpu else {"omp_threads": 48}
+        prog.target(
+            fn=lambda m, o: np.copyto(o, np.gradient(m)),
+            depend=[depend_in(model_buf), depend_out(buf)],
+            cost=12.0,  # 12 core-seconds of wave propagation per shot
+            name=f"shot{i}",
+            **meta,
+        )
+        prog.target_exit_data(buf)
+    return prog
+
+
+def main() -> None:
+    spec = ClusterSpec(num_nodes=5, node=GPU_NODE)
+    for label, use_gpu in (("CPU (48 threads/shot)", False),
+                           ("GPU (nested target)", True)):
+        prog = build(use_gpu)
+        result = OMPCRuntime(spec).run(prog)
+        print(f"{label}: makespan {result.makespan * 1e3:7.1f} ms, "
+              f"gpu executions: "
+              f"{result.counters.get('ompc.gpu_executions', 0):.0f}")
+        print(render_gantt(result.task_intervals, result.schedule.assignment,
+                           width=64))
+        print()
+    print("the nested-target version runs each 12s kernel in 60 ms on the")
+    print("accelerator (plus PCIe staging) versus 250 ms across 48 cores.")
+
+
+if __name__ == "__main__":
+    main()

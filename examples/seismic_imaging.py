@@ -1,0 +1,67 @@
+"""Distributed seismic imaging with Awave (the paper's §6.2 workload).
+
+Builds a Sigsbee-like velocity model (sediment gradient with an
+embedded high-velocity salt body), distributes one RTM shot per worker
+node through the OMPC programming model, stacks the per-shot images on
+the head node, and renders the result as ASCII art.
+
+Every number here is real: the shots forward-model synthetic data in
+the true model, migrate in the smoothed model, and cross-correlate
+wavefields — the cluster simulation only decides *where and when* the
+work runs.
+
+Run:  python examples/seismic_imaging.py
+"""
+
+import numpy as np
+
+from repro.apps.awave import RtmConfig, run_awave, sigsbee_like
+
+
+def ascii_render(field: np.ndarray, rows: int = 24, cols: int = 72) -> str:
+    """Downsample a 2-D field to terminal-sized ASCII shading."""
+    ramp = " .:-=+*#%@"
+    nz, nx = field.shape
+    out = []
+    mag = np.abs(field)
+    # Normalize robustly (99th percentile) so a few spikes don't wash
+    # out the section.
+    scale = np.percentile(mag, 99) or 1.0
+    for r in range(rows):
+        z = slice(r * nz // rows, max((r + 1) * nz // rows, r * nz // rows + 1))
+        line = []
+        for c in range(cols):
+            x = slice(c * nx // cols, max((c + 1) * nx // cols, c * nx // cols + 1))
+            v = min(mag[z, x].mean() / scale, 1.0)
+            line.append(ramp[int(v * (len(ramp) - 1))])
+        out.append("".join(line))
+    return "\n".join(out)
+
+
+def main() -> None:
+    model = sigsbee_like(nx=144, nz=72)
+    print("velocity model (Sigsbee-like — note the salt body):")
+    print(ascii_render(model.vp - model.vp.min()))
+
+    workers = 4
+    result = run_awave(
+        model,
+        num_workers=workers,
+        config=RtmConfig(nt=400, snapshot_every=4),
+    )
+    print(f"\nmigrated {result.num_shots} shots on {workers} worker nodes")
+    print(f"simulated cluster makespan: {result.makespan:.2f} s "
+          f"(per-shot compute charged at production scale)")
+    counters = result.run.counters
+    print(f"model distributed via {counters.get('ompc.events.submit', 0):.0f} submits + "
+          f"{counters.get('ompc.events.exchange_dst', 0):.0f} worker-to-worker forwards")
+
+    print("\nstacked RTM image (reflectors at velocity contrasts):")
+    # Mute the shallow source/receiver imprint for display.
+    image = result.image.copy()
+    image[:10, :] = 0
+    print(ascii_render(image))
+
+
+if __name__ == "__main__":
+    main()

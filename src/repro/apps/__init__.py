@@ -1,0 +1,1 @@
+"""Real-world applications driven through the OMPC programming model."""

@@ -1,0 +1,31 @@
+"""Awave: Reverse Time Migration seismic imaging (§6.2, Fig. 7b).
+
+Awave solves the acoustic wave equation with finite differences to
+produce subsurface images from surface seismic data.  Each *shot* (one
+source firing recorded by all receivers) migrates independently; shots
+are distributed one per worker node through the OMPC programming model
+and their images are stacked.
+
+The paper evaluates two published 2-D models we cannot redistribute
+(Sigsbee [32] and Marmousi [8]); :mod:`repro.apps.awave.models` builds
+synthetic models with the same qualitative structure — a salt body with
+a sharp velocity contrast, and a strongly layered/faulted medium.
+"""
+
+from repro.apps.awave.models import VelocityModel, marmousi_like, sigsbee_like
+from repro.apps.awave.ompc_app import AwaveResult, run_awave
+from repro.apps.awave.rtm import RtmConfig, migrate_shot, rtm_cost_seconds
+from repro.apps.awave.solver import AcousticSolver2D, ricker_wavelet
+
+__all__ = [
+    "AcousticSolver2D",
+    "AwaveResult",
+    "RtmConfig",
+    "VelocityModel",
+    "marmousi_like",
+    "migrate_shot",
+    "ricker_wavelet",
+    "rtm_cost_seconds",
+    "run_awave",
+    "sigsbee_like",
+]

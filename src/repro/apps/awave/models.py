@@ -1,0 +1,148 @@
+"""Synthetic 2-D velocity models with Sigsbee/Marmousi-like structure.
+
+The published datasets are licensed; these generators produce models
+with the same *qualitative* features the paper's experiment depends on:
+
+* ``sigsbee_like`` — a water layer over a sediment gradient with an
+  embedded high-velocity salt body of irregular outline (Sigsbee's
+  defining feature is the 4480 m/s constant-velocity salt intrusion in
+  slow sediments);
+* ``marmousi_like`` — many thin, dipping, folded layers with strong
+  lateral and vertical velocity variation, cut by steep faults
+  (Marmousi's defining feature).
+
+Velocities are in m/s on regular grids with equal spacing in x and z.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class VelocityModel:
+    """A 2-D P-wave velocity model."""
+
+    name: str
+    vp: np.ndarray  # shape (nz, nx), m/s
+    dx: float  # grid spacing in meters
+
+    def __post_init__(self) -> None:
+        if self.vp.ndim != 2:
+            raise ValueError("vp must be 2-D (nz, nx)")
+        if self.dx <= 0:
+            raise ValueError("dx must be > 0")
+        if float(self.vp.min()) <= 0:
+            raise ValueError("velocities must be positive")
+
+    @property
+    def nz(self) -> int:
+        return self.vp.shape[0]
+
+    @property
+    def nx(self) -> int:
+        return self.vp.shape[1]
+
+    @property
+    def vmax(self) -> float:
+        return float(self.vp.max())
+
+    @property
+    def vmin(self) -> float:
+        return float(self.vp.min())
+
+    def smoothed(self, sigma_cells: int = 8) -> "VelocityModel":
+        """A migration-velocity version: reflectivity smoothed away.
+
+        RTM migrates with a smooth background model so the imaging
+        condition recovers the discontinuities.  Box-blur applied
+        ``sigma_cells`` times along each axis (no scipy dependency in
+        the core path).
+        """
+        if sigma_cells < 0:
+            raise ValueError("sigma_cells must be >= 0")
+        v = self.vp.astype(np.float64, copy=True)
+        for _ in range(sigma_cells):
+            padded = np.pad(v, 1, mode="edge")
+            v = (
+                padded[:-2, 1:-1] + padded[2:, 1:-1]
+                + padded[1:-1, :-2] + padded[1:-1, 2:]
+                + padded[1:-1, 1:-1]
+            ) / 5.0
+        return VelocityModel(f"{self.name}-smooth", v, self.dx)
+
+
+def sigsbee_like(
+    nx: int = 200, nz: int = 120, dx: float = 15.0, seed: int = 0
+) -> VelocityModel:
+    """Water + sediment gradient + irregular 4480 m/s salt body."""
+    rng = derive_rng(seed, "sigsbee")
+    z = np.arange(nz)[:, None]
+    x = np.arange(nx)[None, :]
+
+    water_depth = max(2, nz // 8)
+    vp = np.where(
+        z < water_depth,
+        1492.0,  # water
+        1500.0 + (z - water_depth) * (3000.0 / nz),  # sediment gradient
+    ).astype(np.float64)
+    vp = np.broadcast_to(vp, (nz, nx)).copy()
+
+    # Salt body: a lumpy blob described by a wandering top and bottom.
+    cx = nx // 2
+    half_width = nx // 4
+    top_base = nz // 3
+    bottom_base = 2 * nz // 3
+    wobble_top = rng.normal(0.0, nz * 0.02, size=nx).cumsum()
+    wobble_top -= wobble_top.mean()
+    wobble_bot = rng.normal(0.0, nz * 0.02, size=nx).cumsum()
+    wobble_bot -= wobble_bot.mean()
+    top = np.clip(top_base + wobble_top, water_depth + 2, nz - 4)
+    bottom = np.clip(bottom_base + wobble_bot, top + 2, nz - 2)
+    inside_x = np.abs(np.arange(nx) - cx) <= half_width
+    salt_mask = inside_x[None, :] & (z >= top[None, :]) & (z <= bottom[None, :])
+    vp[salt_mask] = 4480.0  # Sigsbee's constant salt velocity
+    return VelocityModel("sigsbee-like", vp, dx)
+
+
+def marmousi_like(
+    nx: int = 200, nz: int = 120, dx: float = 12.5, seed: int = 0
+) -> VelocityModel:
+    """Thin dipping folded layers with faults, 1500–4700 m/s."""
+    rng = derive_rng(seed, "marmousi")
+    x = np.arange(nx)[None, :]
+    z = np.arange(nz)[:, None]
+
+    # Folded, dipping stratigraphy: depth coordinate warped by dip and
+    # a couple of sinusoidal folds.
+    dip = rng.uniform(0.1, 0.25)
+    fold1 = nz * 0.06 * np.sin(2 * np.pi * x / (nx * rng.uniform(0.5, 0.9)))
+    fold2 = nz * 0.03 * np.sin(2 * np.pi * x / (nx * rng.uniform(0.2, 0.4)))
+    horizon = z - dip * x - fold1 - fold2
+
+    # Steep normal faults shift the horizon field blockwise.
+    num_faults = 3
+    fault_positions = np.sort(rng.integers(nx // 5, 4 * nx // 5, num_faults))
+    for fx in fault_positions:
+        throw = rng.uniform(0.03, 0.08) * nz
+        horizon = horizon + np.where(x >= fx, throw, 0.0)
+
+    # Many thin layers: velocity increases with (warped) depth, with
+    # per-layer jitter for strong vertical contrast.
+    num_layers = 25
+    layer_of = np.clip(
+        (horizon / nz * num_layers).astype(int), 0, num_layers - 1
+    )
+    base = np.linspace(1500.0, 4700.0, num_layers)
+    jitter = rng.normal(0.0, 120.0, num_layers)
+    layer_vel = np.clip(base + jitter, 1450.0, 4800.0)
+    vp = layer_vel[layer_of]
+
+    # Water layer on top.
+    water_depth = max(2, nz // 12)
+    vp[:water_depth, :] = 1500.0
+    return VelocityModel("marmousi-like", vp.astype(np.float64), dx)

@@ -1,0 +1,33 @@
+"""OMPC Bench: the experiment launcher of §6.1.
+
+"We developed OMPC Bench, a custom python tool responsible for
+correctly launching the experiment jobs based on a YAML configuration
+file ... compatible with all used runtimes, guaranteeing the same
+experimental parameters for all runs.  Besides that, it also provides a
+reliable method for extracting average and dispersion statistics from
+multiple executions."
+
+This package re-creates that tool on the simulated cluster: a YAML
+subset parser (no external dependency), an experiment launcher driving
+any registered Task Bench runtime, summary statistics, and plain-text
+table/series reports.
+"""
+
+from repro.bench.config import ExperimentConfig, parse_yaml
+from repro.bench.gantt import render_gantt, utilization
+from repro.bench.launcher import Launcher, Record
+from repro.bench.report import format_series, format_table
+from repro.bench.stats import Summary, summarize
+
+__all__ = [
+    "ExperimentConfig",
+    "Launcher",
+    "Record",
+    "Summary",
+    "format_series",
+    "format_table",
+    "parse_yaml",
+    "render_gantt",
+    "summarize",
+    "utilization",
+]

@@ -1,0 +1,212 @@
+"""Experiment configuration: a YAML-subset parser plus typed configs.
+
+PyYAML is not a dependency, so OMPC Bench ships a small parser covering
+the subset experiment files actually use: nested mappings by two-space
+indentation, block lists (``- item``), inline lists (``[a, b]``),
+scalars (int/float/bool/null/string), and ``#`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class YamlError(ValueError):
+    """Malformed input for the YAML subset."""
+
+
+def _parse_scalar(text: str) -> Any:
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(part) for part in inner.split(",")]
+    if (text.startswith('"') and text.endswith('"')) or (
+        text.startswith("'") and text.endswith("'")
+    ):
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if lowered in ("null", "~", ""):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _strip_comment(line: str) -> str:
+    # Comments start at an unquoted '#'.
+    quote: str | None = None
+    for i, ch in enumerate(line):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+        elif ch == "#":
+            return line[:i]
+    return line
+
+
+def parse_yaml(text: str) -> Any:
+    """Parse the YAML subset; returns dicts/lists/scalars."""
+    lines: list[tuple[int, str]] = []
+    for raw in text.splitlines():
+        line = _strip_comment(raw).rstrip()
+        if not line.strip():
+            continue
+        indent = len(line) - len(line.lstrip(" "))
+        if indent % 2 != 0:
+            raise YamlError(f"odd indentation: {raw!r}")
+        lines.append((indent, line.strip()))
+    value, consumed = _parse_block(lines, 0, 0)
+    if consumed != len(lines):
+        raise YamlError(f"trailing content at line {consumed}")
+    return value
+
+
+def _parse_block(lines: list[tuple[int, str]], pos: int, indent: int) -> tuple[Any, int]:
+    if pos >= len(lines):
+        return None, pos
+    first_indent, first = lines[pos]
+    if first_indent != indent:
+        raise YamlError(f"unexpected indentation at {first!r}")
+    if first.startswith("- "):
+        return _parse_list(lines, pos, indent)
+    return _parse_mapping(lines, pos, indent)
+
+
+def _parse_list(lines, pos, indent):
+    items = []
+    while pos < len(lines):
+        line_indent, content = lines[pos]
+        if line_indent < indent:
+            break
+        if line_indent != indent or not content.startswith("- "):
+            raise YamlError(f"bad list item: {content!r}")
+        body = content[2:].strip()
+        if ":" in body and not body.startswith("["):
+            # Inline mapping entry opening a nested mapping.
+            key, _, rest = body.partition(":")
+            entry: dict[str, Any] = {}
+            if rest.strip():
+                entry[key.strip()] = _parse_scalar(rest)
+                pos += 1
+            else:
+                pos += 1
+                sub, pos = _parse_block(lines, pos, indent + 2)
+                entry[key.strip()] = sub
+            # Continuation keys of the same mapping, indented under '-'.
+            while pos < len(lines) and lines[pos][0] == indent + 2 and ":" in lines[pos][1]:
+                k, _, v = lines[pos][1].partition(":")
+                if v.strip():
+                    entry[k.strip()] = _parse_scalar(v)
+                    pos += 1
+                else:
+                    pos += 1
+                    sub, pos = _parse_block(lines, pos, indent + 4)
+                    entry[k.strip()] = sub
+            items.append(entry)
+        else:
+            items.append(_parse_scalar(body))
+            pos += 1
+    return items, pos
+
+
+def _parse_mapping(lines, pos, indent):
+    mapping: dict[str, Any] = {}
+    while pos < len(lines):
+        line_indent, content = lines[pos]
+        if line_indent < indent:
+            break
+        if line_indent != indent:
+            raise YamlError(f"unexpected indent at {content!r}")
+        if content.startswith("- "):
+            raise YamlError(f"list item inside mapping: {content!r}")
+        if ":" not in content:
+            raise YamlError(f"expected 'key: value': {content!r}")
+        key, _, rest = content.partition(":")
+        key = key.strip()
+        if key in mapping:
+            raise YamlError(f"duplicate key {key!r}")
+        if rest.strip():
+            mapping[key] = _parse_scalar(rest)
+            pos += 1
+        else:
+            pos += 1
+            if pos < len(lines) and lines[pos][0] > indent:
+                sub, pos = _parse_block(lines, pos, lines[pos][0])
+                mapping[key] = sub
+            else:
+                mapping[key] = None
+    return mapping, pos
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One OMPC Bench experiment: a parameter grid over one benchmark.
+
+    ``nodes``/``ccrs``/``patterns`` are swept as a cartesian product;
+    ``width`` may be an integer or the string ``"2n"`` (Fig. 5's
+    node-proportional width).
+    """
+
+    name: str
+    runtimes: tuple[str, ...] = ("ompc", "charmpp", "starpu", "mpi")
+    patterns: tuple[str, ...] = ("trivial", "stencil_1d", "fft", "tree")
+    nodes: tuple[int, ...] = (4,)
+    width: int | str = 16
+    steps: int = 16
+    iterations: int = 10_000_000
+    ccrs: tuple[float, ...] = (1.0,)
+    repetitions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        if isinstance(self.width, str) and self.width != "2n":
+            raise ValueError("width must be an int or the string '2n'")
+        if self.steps < 1 or self.iterations < 0:
+            raise ValueError("steps must be >= 1 and iterations >= 0")
+
+    def width_for(self, num_nodes: int) -> int:
+        if self.width == "2n":
+            return 2 * num_nodes
+        return int(self.width)
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "ExperimentConfig":
+        data = parse_yaml(text)
+        if not isinstance(data, dict):
+            raise YamlError("experiment config must be a mapping")
+        known = {
+            "name", "runtimes", "patterns", "nodes", "width", "steps",
+            "iterations", "ccrs", "repetitions",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise YamlError(f"unknown config keys: {sorted(unknown)}")
+        if "name" not in data:
+            raise YamlError("config requires a 'name'")
+        kwargs: dict[str, Any] = {"name": data["name"]}
+        for key in ("runtimes", "patterns", "nodes", "ccrs"):
+            if key in data and data[key] is not None:
+                value = data[key]
+                if not isinstance(value, list):
+                    value = [value]
+                kwargs[key] = tuple(value)
+        for key in ("width", "steps", "iterations", "repetitions"):
+            if key in data and data[key] is not None:
+                kwargs[key] = data[key]
+        return cls(**kwargs)

@@ -1,0 +1,147 @@
+"""The experiment launcher: sweep a config across runtimes on the
+simulated cluster and collect per-cell measurement records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.stats import Summary, summarize
+from repro.cluster.machine import ClusterSpec
+from repro.runtimes import (
+    CharmLikeRuntime,
+    MpiSyncRuntime,
+    OmpcRuntimeAdapter,
+    StarPULikeRuntime,
+    TaskBenchRuntime,
+)
+from repro.taskbench import KernelSpec, Pattern, TaskBenchSpec
+
+#: Registry of runtime names accepted in experiment configs.
+RUNTIME_FACTORIES: dict[str, Callable[[], TaskBenchRuntime]] = {
+    "ompc": OmpcRuntimeAdapter,
+    "charmpp": CharmLikeRuntime,
+    "starpu": StarPULikeRuntime,
+    "mpi": MpiSyncRuntime,
+}
+
+
+@dataclass(frozen=True)
+class Record:
+    """One cell of an experiment: a (runtime, pattern, nodes, ccr) point."""
+
+    experiment: str
+    runtime: str
+    pattern: str
+    nodes: int
+    ccr: float
+    width: int
+    steps: int
+    summary: Summary
+    network_bytes: float = 0.0
+
+
+@dataclass
+class Launcher:
+    """Runs experiment configs and accumulates records.
+
+    ``bandwidth`` is the reference fabric bandwidth used to derive
+    CCR-matched message sizes (defaults to the 100 Gb/s of §6.1).
+    """
+
+    bandwidth: float = 100e9 / 8.0
+    records: list[Record] = field(default_factory=list)
+    progress: Callable[[str], None] | None = None
+
+    def _log(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def run(self, config: ExperimentConfig) -> list[Record]:
+        """Execute the full parameter grid of ``config``."""
+        new_records: list[Record] = []
+        for runtime_name in config.runtimes:
+            try:
+                factory = RUNTIME_FACTORIES[runtime_name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown runtime {runtime_name!r}; "
+                    f"known: {sorted(RUNTIME_FACTORIES)}"
+                ) from None
+            for pattern_name in config.patterns:
+                pattern = Pattern(pattern_name)
+                for nodes in config.nodes:
+                    for ccr in config.ccrs:
+                        record = self._run_cell(
+                            config, factory(), runtime_name, pattern,
+                            nodes, ccr,
+                        )
+                        new_records.append(record)
+        self.records.extend(new_records)
+        return new_records
+
+    def _run_cell(
+        self,
+        config: ExperimentConfig,
+        runtime: TaskBenchRuntime,
+        runtime_name: str,
+        pattern: Pattern,
+        nodes: int,
+        ccr: float,
+    ) -> Record:
+        width = config.width_for(nodes)
+        spec = TaskBenchSpec.with_ccr(
+            width,
+            config.steps,
+            pattern,
+            KernelSpec(config.iterations),
+            ccr,
+            self.bandwidth,
+        )
+        self._log(
+            f"{config.name}: {runtime.name} {pattern.value} "
+            f"nodes={nodes} ccr={ccr}"
+        )
+        makespans = []
+        bytes_moved = 0.0
+        for _rep in range(config.repetitions):
+            result = runtime.run(spec, ClusterSpec(num_nodes=nodes))
+            makespans.append(result.makespan)
+            bytes_moved = result.network_bytes
+        return Record(
+            experiment=config.name,
+            runtime=runtime.name,
+            pattern=pattern.value,
+            nodes=nodes,
+            ccr=ccr,
+            width=width,
+            steps=config.steps,
+            summary=summarize(makespans),
+            network_bytes=bytes_moved,
+        )
+
+    # -- queries over accumulated records ---------------------------------
+    def select(
+        self,
+        experiment: str | None = None,
+        runtime: str | None = None,
+        pattern: str | None = None,
+        nodes: int | None = None,
+        ccr: float | None = None,
+    ) -> list[Record]:
+        out = []
+        for r in self.records:
+            if experiment is not None and r.experiment != experiment:
+                continue
+            if runtime is not None and r.runtime != runtime:
+                continue
+            if pattern is not None and r.pattern != pattern:
+                continue
+            if nodes is not None and r.nodes != nodes:
+                continue
+            if ccr is not None and r.ccr != ccr:
+                continue
+            out.append(r)
+        return out

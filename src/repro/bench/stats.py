@@ -1,0 +1,55 @@
+"""Average and dispersion statistics over repeated executions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of one measurement series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation (0 when the mean is 0)."""
+        return self.std / self.mean if self.mean else 0.0
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean and dispersion of ``values`` (sample standard deviation)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot summarize an empty series")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+        std = math.sqrt(var)
+    else:
+        std = 0.0
+    return Summary(n, mean, std, min(vals), max(vals))
+
+
+def speedup(baseline: Summary, other: Summary) -> float:
+    """How many times faster ``other`` is than ``baseline`` (time ratio)."""
+    if other.mean <= 0:
+        raise ValueError("other.mean must be > 0")
+    return baseline.mean / other.mean
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot average an empty series")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,123 @@
+"""Execution tracing: timed spans and counters for overhead analysis.
+
+The overhead experiment (Fig. 7a) breaks wall time into startup,
+shutdown, and scheduling components.  Runtimes record those phases as
+:class:`Span` records on a shared :class:`TraceRecorder`; benches then
+aggregate fractions of total wall time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed time interval attributed to a component/phase."""
+
+    component: str
+    name: str
+    start: float
+    end: float
+    meta: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _OpenSpan:
+    component: str
+    name: str
+    start: float
+    meta: tuple = ()
+
+
+class TraceRecorder:
+    """Collects spans and counters from a simulation run."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.spans: list[Span] = []
+        self.counters: dict[str, float] = defaultdict(float)
+
+    # -- spans ----------------------------------------------------------
+    def begin(self, component: str, name: str, **meta: Any) -> _OpenSpan:
+        return _OpenSpan(component, name, self.sim.now, tuple(sorted(meta.items())))
+
+    def end(self, open_span: _OpenSpan) -> Span:
+        span = Span(
+            open_span.component,
+            open_span.name,
+            open_span.start,
+            self.sim.now,
+            open_span.meta,
+        )
+        self.spans.append(span)
+        return span
+
+    def record(self, component: str, name: str, start: float, end: float) -> Span:
+        span = Span(component, name, start, end)
+        self.spans.append(span)
+        return span
+
+    # -- counters ----------------------------------------------------------
+    def count(self, key: str, amount: float = 1.0) -> None:
+        self.counters[key] += amount
+
+    # -- queries ----------------------------------------------------------
+    def find(self, component: str | None = None, name: str | None = None) -> Iterator[Span]:
+        for span in self.spans:
+            if component is not None and span.component != component:
+                continue
+            if name is not None and span.name != name:
+                continue
+            yield span
+
+    def total_duration(self, component: str | None = None, name: str | None = None) -> float:
+        return sum(s.duration for s in self.find(component, name))
+
+    # -- export ----------------------------------------------------------
+    def to_chrome_trace(self) -> list[dict]:
+        """Spans as Chrome ``chrome://tracing`` / Perfetto events.
+
+        Complete events (``ph: "X"``) with microsecond timestamps; the
+        component becomes the process name, the span name the event
+        name.  Serialize with ``json.dumps`` and load in any trace
+        viewer.
+        """
+        events = []
+        pids = {}
+        for span in self.spans:
+            pid = pids.setdefault(span.component, len(pids))
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.component,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": dict(span.meta),
+                }
+            )
+        for component, pid in pids.items():
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": component},
+                }
+            )
+        return events

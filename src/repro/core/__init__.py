@@ -1,0 +1,50 @@
+"""The OMPC runtime: device plugin, event system, data manager, scheduler.
+
+This is the paper's primary contribution (§3–§4): an OpenMP offloading
+device that models a *cluster node*, built from
+
+* a libomptarget-style device-plugin interface (:mod:`repro.core.device`)
+  and its cluster implementation (:mod:`repro.core.plugin`),
+* an MPI-based distributed event system (:mod:`repro.core.events`) with
+  per-event tag isolation (:mod:`repro.core.tags`),
+* a data manager that keeps buffer copies coherent across nodes and
+  forwards worker-to-worker (:mod:`repro.core.datamanager`),
+* a HEFT-based static task scheduler with the paper's adaptations
+  (:mod:`repro.core.scheduler`), and
+* the orchestrating runtime (:mod:`repro.core.runtime`).
+"""
+
+from repro.core.config import OMPCConfig
+from repro.core.datamanager import DataManager
+from repro.core.faults import (
+    FailureInjector,
+    FaultTolerantRuntime,
+    HeartbeatRing,
+    NodeFailure,
+    RecoveryError,
+)
+from repro.core.runtime import OMPCRunResult, OMPCRuntime
+from repro.core.scheduler import (
+    HeftScheduler,
+    MinLoadScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Schedule,
+)
+
+__all__ = [
+    "DataManager",
+    "FailureInjector",
+    "FaultTolerantRuntime",
+    "HeartbeatRing",
+    "HeftScheduler",
+    "MinLoadScheduler",
+    "NodeFailure",
+    "OMPCConfig",
+    "OMPCRunResult",
+    "OMPCRuntime",
+    "RandomScheduler",
+    "RecoveryError",
+    "RoundRobinScheduler",
+    "Schedule",
+]

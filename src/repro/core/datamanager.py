@@ -1,0 +1,216 @@
+"""The Data Management module (§4.3).
+
+Lives at the agnostic layer and keeps one coherent view of where every
+mapped buffer resides across the cluster.  Location ``HOST`` (node 0)
+is the head node; workers are nodes 1..N.
+
+Coherency rules (verbatim from the paper):
+
+* **Enter data** — after scheduling, each buffer is sent to the first
+  node that will use it.
+* **Exit data** — the buffer is retrieved from any of its previous
+  locations to the head node and, if no longer used, removed from the
+  entire cluster.
+* **Target regions** — a buffer not present on the executing node is
+  forwarded (copied) from its most recent location.  After execution,
+  an ``inout``/``out`` dependency leaves the buffer *only* on the
+  executing node (all other copies removed); a read-only buffer stays
+  replicated for future reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.omp.task import Buffer, Task
+
+#: Node id of the host (head node) in location maps.
+HOST = 0
+
+
+@dataclass(frozen=True)
+class Move:
+    """One planned copy: ``src → dst`` of a buffer."""
+
+    buffer: Buffer
+    src: int
+    dst: int
+
+    @property
+    def from_host(self) -> bool:
+        return self.src == HOST
+
+    @property
+    def to_host(self) -> bool:
+        return self.dst == HOST
+
+
+@dataclass
+class _BufferState:
+    """Where valid copies of one buffer live."""
+
+    buffer: Buffer
+    locations: set[int] = field(default_factory=lambda: {HOST})
+    latest: int = HOST
+
+
+class DataManager:
+    """Head-side tracking of buffer locations and transfer planning.
+
+    The manager only *plans* moves; the runtime performs them through
+    the device plugin and then calls the ``commit_*`` methods.  Keeping
+    planning pure makes the coherency logic directly unit-testable.
+    """
+
+    def __init__(self):
+        self._state: dict[int, _BufferState] = {}
+
+    def _st(self, buffer: Buffer) -> _BufferState:
+        return self._state.setdefault(buffer.buffer_id, _BufferState(buffer))
+
+    # -- queries -----------------------------------------------------------
+    def locations(self, buffer: Buffer) -> set[int]:
+        """Nodes currently holding a valid copy."""
+        return set(self._st(buffer).locations)
+
+    def latest(self, buffer: Buffer) -> int:
+        """The most recent (authoritative) location."""
+        return self._st(buffer).latest
+
+    def is_resident(self, buffer: Buffer, node: int) -> bool:
+        return node in self._st(buffer).locations
+
+    # -- enter data ----------------------------------------------------------
+    def plan_enter_data(self, buffer: Buffer, first_user_node: int) -> list[Move]:
+        """Send the buffer to the first node that will use it (§4.3)."""
+        st = self._st(buffer)
+        if first_user_node in st.locations:
+            return []
+        return [Move(buffer, st.latest, first_user_node)]
+
+    def commit_enter_data(self, buffer: Buffer, node: int) -> None:
+        st = self._st(buffer)
+        st.locations.add(node)
+        st.latest = node
+
+    # -- target regions ----------------------------------------------------
+    def plan_for_task(self, task: Task, node: int) -> tuple[list[Move], list[Buffer]]:
+        """What must happen before ``task`` may run on ``node``.
+
+        Returns ``(moves, allocs)``: dependence buffers that are *read*
+        and not resident are copied from their most recent location;
+        buffers the task only *writes* (pure ``out`` dependence) need a
+        device allocation but no data transfer — the task overwrites
+        them entirely, so copying would move dead bytes.
+        """
+        moves: list[Move] = []
+        allocs: list[Buffer] = []
+        planned: set[int] = set()
+        for dep in task.deps:
+            st = self._st(dep.buffer)
+            if node in st.locations or dep.buffer.buffer_id in planned:
+                continue
+            planned.add(dep.buffer.buffer_id)
+            if task.dep_type_for(dep.buffer).reads:
+                moves.append(Move(dep.buffer, st.latest, node))
+            else:
+                allocs.append(dep.buffer)
+        return moves, allocs
+
+    def commit_alloc(self, buffer: Buffer, node: int) -> None:
+        """Record a data-less device allocation (pure ``out`` dependence).
+
+        The node joins the location set so co-resident readers skip
+        redundant moves; ``latest`` is untouched — the node holds no
+        meaningful bytes until the writer's ``commit_task_done``.
+        """
+        self._st(buffer).locations.add(node)
+
+    def commit_move(self, move: Move) -> None:
+        st = self._st(move.buffer)
+        if move.src not in st.locations:
+            raise ValueError(
+                f"move of {move.buffer.name} from node {move.src}, which "
+                f"holds no valid copy (valid: {sorted(st.locations)})"
+            )
+        st.locations.add(move.dst)
+
+    def commit_task_done(
+        self,
+        task: Task,
+        node: int,
+        written_ids: set[int] | None = None,
+    ) -> list[tuple[Buffer, int]]:
+        """Update coherency after ``task`` ran on ``node``.
+
+        Returns the stale copies to delete: ``(buffer, holder_node)``
+        pairs for every invalidated replica of written buffers.  The
+        caller issues DELETE events for pairs on worker nodes.
+
+        ``written_ids`` optionally overrides the declared write set with
+        the set the device *detected* (§7's page-protection write
+        detection); buffers outside it are treated as read-only even if
+        declared ``out``/``inout``.
+        """
+        stale: list[tuple[Buffer, int]] = []
+        for dep in task.deps:
+            st = self._st(dep.buffer)
+            writes = (
+                dep.buffer.buffer_id in written_ids
+                if written_ids is not None
+                else dep.type.writes
+            )
+            if writes:
+                for holder in sorted(st.locations - {node}):
+                    stale.append((dep.buffer, holder))
+                st.locations = {node}
+                st.latest = node
+            else:
+                # Read-only: keep all copies for future reuse.
+                st.locations.add(node)
+        return stale
+
+    # -- failures -----------------------------------------------------------
+    def on_node_failure(self, node: int) -> list[Buffer]:
+        """Drop every copy held by a failed node (§3.1 fault tolerance).
+
+        Returns the buffers whose *only* valid copy was lost — their
+        producing tasks must be re-executed (lineage recovery).  For
+        buffers with surviving replicas, ``latest`` is redirected to a
+        deterministic survivor.
+        """
+        if node == HOST:
+            raise ValueError("the head node cannot fail in this model")
+        lost: list[Buffer] = []
+        for state in self._state.values():
+            if node not in state.locations:
+                continue
+            state.locations.discard(node)
+            if not state.locations:
+                lost.append(state.buffer)
+                continue
+            if state.latest == node:
+                state.latest = min(state.locations)
+        return lost
+
+    # -- exit data ----------------------------------------------------------
+    def plan_exit_data(self, buffer: Buffer) -> list[Move]:
+        """Retrieve the final value to the head node."""
+        st = self._st(buffer)
+        if HOST in st.locations and st.latest == HOST:
+            return []
+        return [Move(buffer, st.latest, HOST)]
+
+    def commit_exit_data(self, buffer: Buffer) -> list[tuple[Buffer, int]]:
+        """Mark the buffer host-resident; return worker copies to remove.
+
+        "If needed (i.e., the program will not use the data anymore),
+        the buffer is removed from the entire cluster."
+        """
+        st = self._st(buffer)
+        removals = [
+            (buffer, holder) for holder in sorted(st.locations - {HOST})
+        ]
+        st.locations = {HOST}
+        st.latest = HOST
+        return removals

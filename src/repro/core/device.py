@@ -1,0 +1,115 @@
+"""The libomptarget device-plugin interface (§4.1, Fig. 2).
+
+libomptarget's agnostic layer talks to accelerators through a
+streamlined plugin interface; "each device-specific plugin behaves as a
+driver for an accelerator".  This module defines that interface.  The
+CUDA plugin of LLVM would be one implementation; our cluster plugin
+(:mod:`repro.core.plugin`) is another, and tests provide an in-process
+loopback plugin to exercise the agnostic layer in isolation.
+
+All data/compute methods are *generator methods* — they run inside
+simulation processes on the host (head node) and advance simulated
+time.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.omp.task import Task
+
+
+class DevicePlugin(abc.ABC):
+    """Driver interface between the agnostic layer and target devices.
+
+    Device ids are plugin-local, 0-based.  The six operations map
+    one-to-one onto the actions of the OMPC event system (§4.2).
+    """
+
+    @abc.abstractmethod
+    def number_of_devices(self) -> int:
+        """How many devices this plugin exposes."""
+
+    @abc.abstractmethod
+    def data_alloc(self, device: int, buffer_id: int):
+        """Generator: allocate a device-side entry for a buffer."""
+
+    @abc.abstractmethod
+    def data_delete(self, device: int, buffer_id: int):
+        """Generator: free the device-side entry."""
+
+    @abc.abstractmethod
+    def data_submit(self, device: int, buffer_id: int, payload: Any, nbytes: float):
+        """Generator: copy host → device."""
+
+    @abc.abstractmethod
+    def data_retrieve(self, device: int, buffer_id: int, nbytes: float):
+        """Generator: copy device → host; returns the payload."""
+
+    @abc.abstractmethod
+    def data_exchange(
+        self, src_device: int, dst_device: int, buffer_id: int, nbytes: float
+    ):
+        """Generator: copy device → device without staging on the host."""
+
+    @abc.abstractmethod
+    def run_target_region(self, device: int, task: Task):
+        """Generator: execute a target task on the device."""
+
+
+class LoopbackPlugin(DevicePlugin):
+    """A single 'device' backed by host memory — the no-accelerator
+    fallback (§2: execution falls back to regular OpenMP tasks).
+
+    Used by the agnostic-layer tests and as a reference implementation:
+    every operation completes after an optional fixed latency.
+    """
+
+    def __init__(self, sim, num_devices: int = 1, op_latency: float = 0.0):
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if op_latency < 0:
+            raise ValueError("op_latency must be >= 0")
+        self.sim = sim
+        self._num = num_devices
+        self.op_latency = op_latency
+        self.tables: list[dict[int, Any]] = [{} for _ in range(num_devices)]
+        self.executed: list[tuple[int, int]] = []
+
+    def number_of_devices(self) -> int:
+        return self._num
+
+    def _tick(self):
+        if self.op_latency:
+            yield self.sim.timeout(self.op_latency)
+
+    def data_alloc(self, device: int, buffer_id: int):
+        yield from self._tick()
+        self.tables[device][buffer_id] = None
+
+    def data_delete(self, device: int, buffer_id: int):
+        yield from self._tick()
+        del self.tables[device][buffer_id]
+
+    def data_submit(self, device: int, buffer_id: int, payload: Any, nbytes: float):
+        yield from self._tick()
+        self.tables[device][buffer_id] = payload
+
+    def data_retrieve(self, device: int, buffer_id: int, nbytes: float):
+        yield from self._tick()
+        return self.tables[device][buffer_id]
+
+    def data_exchange(self, src_device: int, dst_device: int, buffer_id: int, nbytes: float):
+        yield from self._tick()
+        self.tables[dst_device][buffer_id] = self.tables[src_device][buffer_id]
+
+    def run_target_region(self, device: int, task: Task):
+        if task.cost:
+            yield self.sim.timeout(task.cost)
+        else:
+            yield from self._tick()
+        if task.fn is not None:
+            args = [self.tables[device][d.buffer.buffer_id] for d in task.deps]
+            task.fn(*args)
+        self.executed.append((device, task.task_id))

@@ -1,0 +1,530 @@
+"""Fault tolerance: heartbeat ring, failure injection, task restart.
+
+§3.1: "each node in OMPC (head node and worker nodes) has a heart-beat
+mechanism, connected in a ring topology, which allows nodes to monitor
+their neighbors.  Thus, if a node fails, the system detects and
+restarts the failed tasks.  Fault tolerance work on OMPC is underway
+and will be released in a future version."
+
+This module implements that future version on the simulated cluster:
+
+* :class:`HeartbeatRing` — every node periodically sends a heartbeat to
+  its ring successor and monitors its predecessor; a missed deadline
+  reports the suspect to the head node.
+* :class:`FailureInjector` — crashes chosen worker nodes at chosen
+  simulated times (kills their event machinery and wipes their device
+  memory).
+* :class:`FaultTolerantRuntime` — an OMPC runtime whose dispatch
+  survives worker failures: in-flight tasks on a dead node are
+  re-dispatched to survivors, and buffers whose only copy died are
+  recovered by lineage — re-executing their recorded producer task
+  (transitively).  Lineage recovery requires the producer's own inputs
+  to still be reconstructible, which holds for the paper's motivating
+  workload (independent long-running shots reading replicated/host
+  data); an unrecoverable loss raises :class:`RecoveryError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.datamanager import HOST, DataManager, Move
+from repro.core.events import EventSystem
+from repro.core.scheduler import HeftScheduler, Schedule, Scheduler
+from repro.mpi.comm import MpiWorld
+from repro.omp.api import OmpProgram
+from repro.omp.task import Buffer, Task, TaskKind
+from repro.sim.errors import SimulationError
+from repro.sim.primitives import AnyOf
+from repro.sim.resources import Resource
+from repro.util.units import MILLISECOND
+
+
+class RecoveryError(SimulationError):
+    """A lost buffer cannot be reconstructed from surviving data."""
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """One injected crash."""
+
+    time: float
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("failure time must be >= 0")
+        if self.node == 0:
+            raise ValueError("the head node cannot fail in this model")
+
+
+class FailureInjector:
+    """Schedules crashes against a running event system."""
+
+    def __init__(self, events: EventSystem):
+        self.events = events
+        self.injected: list[NodeFailure] = []
+
+    def arm(self, failures: list[NodeFailure],
+            on_fail: Callable[[int], None] | None = None) -> None:
+        sim = self.events.sim
+        for failure in failures:
+            def crash(f=failure):
+                yield sim.timeout(f.time)
+                self.events.fail_node(f.node)
+                self.injected.append(f)
+                if on_fail is not None:
+                    on_fail(f.node)
+
+            sim.process(crash(), name=f"failure@{failure.node}")
+
+
+class HeartbeatRing:
+    """Ring-topology liveness monitoring (§3.1).
+
+    Node ``i`` heartbeats to ``(i+1) % n`` every ``interval``; the
+    monitor on the successor declares its predecessor dead after
+    ``timeout`` without a beat and invokes ``on_detect`` (the head-side
+    recovery hook).  After a detection the monitor re-wires to the next
+    living predecessor so later failures are still caught.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        mpi: MpiWorld,
+        events: EventSystem,
+        interval: float = 1.0 * MILLISECOND,
+        timeout: float = 3.5 * MILLISECOND,
+        heartbeat_bytes: float = 16.0,
+    ):
+        if interval <= 0 or timeout <= interval:
+            raise ValueError("need 0 < interval < timeout")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.events = events
+        self.interval = interval
+        self.timeout = timeout
+        self.heartbeat_bytes = heartbeat_bytes
+        self.comm = mpi.new_communicator()
+        self.on_detect: Callable[[int, int], None] | None = None
+        #: (dead_node, detected_by, detection_time) records.
+        self.detections: list[tuple[int, int, float]] = []
+        self._dead: set[int] = set()
+        self._stopped = False
+
+    def start(self) -> None:
+        n = self.cluster.num_nodes
+        if n < 2:
+            return
+        for node in range(n):
+            self.sim.process(self._sender(node), name=f"hb-send{node}")
+            self.sim.process(self._monitor(node), name=f"hb-mon{node}")
+
+    def stop(self) -> None:
+        """End monitoring (called at runtime shutdown)."""
+        self._stopped = True
+
+    def _alive(self, node: int) -> bool:
+        return not self.events.node_failed(node) and node not in self._dead
+
+    def _sender(self, node: int):
+        n = self.cluster.num_nodes
+        rank = self.comm.rank(node)
+        seq = 0
+        while not self._stopped:
+            if self.events.node_failed(node):
+                return  # this node has crashed; no more beats
+            successor = (node + 1) % n
+            # Skip dead successors so the ring stays closed.
+            while not self._alive(successor) and successor != node:
+                successor = (successor + 1) % n
+            if successor != node:
+                rank.isend(successor, ("hb", node, seq),
+                           self.heartbeat_bytes, tag=1)
+            seq += 1
+            yield self.sim.timeout(self.interval)
+
+    def _monitor(self, node: int):
+        rank = self.comm.rank(node)
+        while not self._stopped:
+            if self.events.node_failed(node):
+                return
+            watched = self._predecessor(node)
+            if watched is None:
+                return  # no other live node to monitor
+            req = rank.irecv(src=watched, tag=1)
+            deadline = self.sim.timeout(self.timeout)
+            yield AnyOf(self.sim, [req.event, deadline])
+            if self._stopped or self.events.node_failed(node):
+                return
+            if req.test():
+                continue  # a beat arrived in time
+            # Deadline passed without a beat from the watched node.  The
+            # fabric never drops messages in this model, so a missed
+            # window means the predecessor is gone; declare it and
+            # re-wire to the next believed-alive predecessor.
+            self._declare(watched, node)
+
+    def _predecessor(self, node: int) -> int | None:
+        """The nearest ring predecessor this node *believes* is alive."""
+        n = self.cluster.num_nodes
+        pred = (node - 1) % n
+        while pred != node:
+            if pred not in self._dead:
+                return pred
+            pred = (pred - 1) % n
+        return None
+
+    def _declare(self, dead: int, by: int) -> None:
+        if dead in self._dead:
+            return
+        self._dead.add(dead)
+        self.detections.append((dead, by, self.sim.now))
+        if self.on_detect is not None:
+            self.on_detect(dead, by)
+
+
+@dataclass
+class FTRunResult:
+    """Outcome of a fault-tolerant execution."""
+
+    makespan: float
+    schedule: Schedule
+    failures: list[int] = field(default_factory=list)
+    detections: list[tuple[int, int, float]] = field(default_factory=list)
+    reexecuted_tasks: int = 0
+    task_attempts: dict[int, int] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+
+class FaultTolerantRuntime:
+    """OMPC with the §3.1 heartbeat/restart mechanism enabled."""
+
+    def __init__(
+        self,
+        cluster_spec: ClusterSpec,
+        config: OMPCConfig | None = None,
+        scheduler: Scheduler | None = None,
+        heartbeat_interval: float = 1.0 * MILLISECOND,
+        heartbeat_timeout: float = 3.5 * MILLISECOND,
+    ):
+        if cluster_spec.num_nodes < 3:
+            raise ValueError(
+                "fault tolerance needs a head node plus at least two "
+                "workers (a lone worker's failure is unrecoverable)"
+            )
+        self.cluster_spec = cluster_spec
+        self.config = config or OMPCConfig()
+        self.scheduler = scheduler or HeftScheduler(
+            exec_slots_per_node=self.config.event_handlers
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.last_cluster: Cluster | None = None
+
+    # ------------------------------------------------------------------
+    def run(
+        self, program: OmpProgram, failures: list[NodeFailure] = ()
+    ) -> FTRunResult:
+        program.validate()
+        cluster = Cluster(self.cluster_spec)
+        self.last_cluster = cluster
+        sim = cluster.sim
+        mpi = MpiWorld(cluster)
+        events = EventSystem(cluster, mpi, self.config)
+        ring = HeartbeatRing(
+            cluster, mpi, events,
+            interval=self.heartbeat_interval,
+            timeout=self.heartbeat_timeout,
+        )
+        dm = DataManager()
+        cfg = self.config
+        graph = program.graph
+
+        schedule = self.scheduler.schedule(graph, cluster)
+        result = FTRunResult(makespan=0.0, schedule=schedule)
+
+        dead: set[int] = set()
+        live_workers = lambda: [  # noqa: E731 - tiny local helper
+            n for n in range(1, cluster.num_nodes) if n not in dead
+        ]
+
+        remaining = {t.task_id: graph.in_degree(t) for t in graph.tasks()}
+        pending = len(remaining)
+        all_done = sim.event("all-tasks-done")
+        slots = Resource(sim, capacity=cfg.head_threads, name="head-threads")
+        #: Which task last produced each buffer's current value.
+        writer_of: dict[int, Task] = {}
+        attempts: dict[int, int] = {}
+        # Serialize recoveries of the same buffer.
+        recovering: dict[int, object] = {}
+
+        def target_node(task: Task) -> int:
+            node = schedule.node_of(task)
+            if node in dead and node != HOST:
+                # Deterministic re-map: spread by task id over survivors.
+                survivors = live_workers()
+                if not survivors:
+                    raise RecoveryError("all worker nodes have failed")
+                node = survivors[task.task_id % len(survivors)]
+            return node
+
+        def complete(task: Task) -> None:
+            nonlocal pending
+            pending -= 1
+            for succ in graph.successors(task):
+                remaining[succ.task_id] -= 1
+                if remaining[succ.task_id] == 0:
+                    sim.process(run_task(succ), name=f"ft-task:{succ.name}")
+            if pending == 0:
+                all_done.succeed()
+
+        # -- buffer movement and recovery -------------------------------
+        def ensure_available(buffer: Buffer, chain: frozenset = frozenset()):
+            """Generator: guarantee a live copy of ``buffer`` exists.
+
+            ``chain`` carries the buffer ids already being recovered on
+            this call stack: needing one of them again means the lost
+            value can only be rebuilt from itself (an in-place/INOUT
+            producer), which is unrecoverable without checkpoints.
+            """
+            while True:
+                locations = dm.locations(buffer) - dead
+                if locations:
+                    return
+                if buffer.buffer_id in chain:
+                    raise RecoveryError(
+                        f"buffer {buffer.name} can only be rebuilt from "
+                        "its own lost value (in-place producer); "
+                        "checkpoint-free lineage recovery cannot help"
+                    )
+                token = recovering.get(buffer.buffer_id)
+                if token is not None:
+                    yield token  # someone else is already recovering it
+                    continue
+                producer = writer_of.get(buffer.buffer_id)
+                if producer is None:
+                    raise RecoveryError(
+                        f"buffer {buffer.name} lost with no recorded "
+                        "producer; its initial value existed only on the "
+                        "failed node"
+                    )
+                done = sim.event(f"recover:{buffer.name}")
+                recovering[buffer.buffer_id] = done
+                try:
+                    yield from execute_once(
+                        producer, chain=chain | {buffer.buffer_id}
+                    )
+                finally:
+                    del recovering[buffer.buffer_id]
+                    done.succeed()
+                result.reexecuted_tasks += 1
+
+        def safe_source_move(buffer: Buffer, dst: int, chain: frozenset = frozenset()):
+            """Generator: materialize ``buffer`` on ``dst``.
+
+            Retries with a fresh source if the source node crashes
+            mid-transfer; a crash of ``dst`` propagates to the caller
+            (the whole task attempt restarts elsewhere).
+            """
+            while True:
+                yield from ensure_available(buffer, chain)
+                locations = dm.locations(buffer) - dead
+                if dst in locations:
+                    return
+                src = dm.latest(buffer)
+                if src in dead or src not in locations:
+                    src = HOST if HOST in locations else min(locations)
+                if src == HOST:
+                    op = events.submit(dst, buffer.buffer_id, buffer.data,
+                                       buffer.nbytes)
+                    watch = [dst]
+                else:
+                    op = events.exchange(src, dst, buffer.buffer_id,
+                                         buffer.nbytes)
+                    watch = [src, dst]
+                try:
+                    yield from guarded(watch, op)
+                except _NodeCrashed as crash:
+                    handle_node_death(crash.node)
+                    if crash.node == dst:
+                        raise  # the task itself must move
+                    continue  # source died: pick another source
+                dm.commit_move(Move(buffer, src, dst))
+                return
+
+        # -- task execution with failure racing ---------------------------
+        def execute_once(task: Task, chain: frozenset = frozenset()):
+            """Generator: run ``task`` to completion, retrying on crashes."""
+            while True:
+                node = target_node(task)
+                attempts[task.task_id] = attempts.get(task.task_id, 0) + 1
+                try:
+                    if task.kind == TaskKind.CLASSICAL:
+                        yield from run_classical(task)
+                    elif task.kind == TaskKind.TARGET_ENTER_DATA:
+                        yield from run_enter_data(task, node)
+                    elif task.kind == TaskKind.TARGET_EXIT_DATA:
+                        yield from run_exit_data(task)
+                    else:
+                        yield from run_target(task, node, chain)
+                    return
+                except _NodeCrashed:
+                    dead_node = node
+                    handle_node_death(dead_node)
+                    continue  # retry on a survivor
+
+        def run_classical(task: Task):
+            head = cluster.head
+            yield head.cpu.request()
+            try:
+                if task.cost:
+                    yield sim.timeout(head.compute_time(task.cost))
+                if task.fn is not None:
+                    task.fn(*(d.buffer.data for d in task.deps))
+            finally:
+                head.cpu.release()
+            record_writes(task, HOST)
+
+        def run_enter_data(task: Task, node: int):
+            if node == HOST or node in dead:
+                node = HOST
+            if node != HOST:
+                for buf in task.buffers:
+                    yield from safe_source_move(buf, node)
+                for buf in task.buffers:
+                    dm.commit_enter_data(buf, node)
+
+        def run_exit_data(task: Task):
+            for buf in task.buffers:
+                yield from ensure_available(buf)
+                locations = dm.locations(buf) - dead
+                if HOST not in locations or dm.latest(buf) != HOST:
+                    src = dm.latest(buf)
+                    if src in dead or src not in locations:
+                        src = min(locations)
+                    if src != HOST:
+                        payload = yield from events.retrieve(
+                            src, buf.buffer_id, buf.nbytes
+                        )
+                        buf.data = payload
+                        dm.commit_move(Move(buf, src, HOST))
+                for stale_buf, holder in dm.commit_exit_data(buf):
+                    if holder != HOST and holder not in dead:
+                        yield from events.delete(holder, stale_buf.buffer_id)
+
+        def run_target(task: Task, node: int, chain: frozenset = frozenset()):
+            moves, allocs = dm.plan_for_task(task, node)
+            for buf in allocs:
+                yield from guarded(node, events.alloc(node, buf.buffer_id,
+                                                      payload=buf.data))
+                dm.commit_alloc(buf, node)
+            for dep in task.deps:
+                if task.dep_type_for(dep.buffer).reads and not dm.is_resident(
+                    dep.buffer, node
+                ):
+                    yield from safe_source_move(dep.buffer, node, chain)
+            yield from guarded(node, events.execute(node, task))
+            record_writes(task, node)
+            stale = dm.commit_task_done(task, node)
+            for buf, holder in stale:
+                if holder != HOST and holder not in dead:
+                    yield from events.delete(holder, buf.buffer_id)
+
+        def record_writes(task: Task, node: int) -> None:
+            for buf in task.writes:
+                writer_of[buf.buffer_id] = task
+
+        def guarded(nodes, operation):
+            """Generator: race ``operation`` against any of ``nodes`` dying.
+
+            A crash mid-operation may strand the remote half of the
+            event (e.g. an EXCHANGE destination waiting on a dead
+            source); the origin-side process is interrupted and the
+            crash is reported to the caller for retry.
+            """
+            if isinstance(nodes, int):
+                nodes = [nodes]
+            for node in nodes:
+                if node in dead or events.node_failed(node):
+                    raise _NodeCrashed(node)
+            proc = sim.process(operation, name="ft-op")
+            races = [proc] + [events.failure_event(n) for n in nodes]
+            yield AnyOf(sim, races)
+            if proc.triggered:
+                if not proc.ok:
+                    raise proc.value
+                return proc.value
+            if proc.is_alive:
+                proc.interrupt("node failure")
+            crashed = next(n for n in nodes if events.node_failed(n))
+            raise _NodeCrashed(crashed)
+
+        def handle_node_death(node: int) -> None:
+            if node in dead:
+                return
+            dead.add(node)
+            dm.on_node_failure(node)
+            result.failures.append(node)
+
+        def run_task(task: Task):
+            yield slots.request()
+            try:
+                yield from execute_once(task)
+            finally:
+                slots.release()
+            complete(task)
+
+        # -- failure plumbing ---------------------------------------------
+        def on_detect(dead_node: int, by: int) -> None:
+            # The head learns through the ring; recovery state updates
+            # immediately (in-flight guards race the failure event).
+            handle_node_death(dead_node)
+
+        ring.on_detect = on_detect
+        injector = FailureInjector(events)
+
+        def main():
+            yield sim.timeout(cfg.startup_time)
+            events.start()
+            ring.start()
+            injector.arm(list(failures))
+            creation = len(remaining) * cfg.task_creation_overhead
+            if creation:
+                yield sim.timeout(creation)
+            sched_cost = (
+                graph.num_edges
+                * max(cluster.num_nodes - 1, 1)
+                * cfg.schedule_unit_cost
+            )
+            if sched_cost:
+                yield sim.timeout(sched_cost)
+            if pending == 0:
+                all_done.succeed()
+            else:
+                for root in graph.roots():
+                    sim.process(run_task(root), name=f"ft-task:{root.name}")
+            yield all_done
+            ring.stop()
+            yield from events.shutdown()
+            yield sim.timeout(cfg.shutdown_time)
+
+        main_proc = sim.process(main(), name="ompc-ft-main")
+        sim.run(until=main_proc)
+        result.makespan = sim.now
+        result.detections = list(ring.detections)
+        result.task_attempts = dict(attempts)
+        result.counters = dict(cluster.trace.counters)
+        return result
+
+
+class _NodeCrashed(Exception):
+    """Internal control flow: the target node died mid-operation."""
+
+    def __init__(self, node: int):
+        super().__init__(f"node {node} crashed")
+        self.node = node

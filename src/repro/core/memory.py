@@ -1,0 +1,74 @@
+"""Worker-side device memory: the per-node table of mapped buffers.
+
+Each cluster node, acting as an offloading device, keeps a table of the
+buffers currently allocated on it.  Payloads travel by reference (all
+nodes live in one Python process); the simulation charges transfer time
+for the bytes, and the *table* is the ground truth the coherency tests
+inspect: reading a buffer on a node where the data manager never
+materialized it raises, so protocol bugs surface as hard errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.errors import SimulationError
+
+
+class DeviceMemoryError(SimulationError):
+    """Access to a buffer not resident on this node."""
+
+
+class DeviceMemory:
+    """The mapped-buffer table of one worker node."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._table: dict[int, Any] = {}
+        #: Diagnostics: total allocations/removals over the run.
+        self.allocations = 0
+        self.deletions = 0
+
+    def __contains__(self, buffer_id: int) -> bool:
+        return buffer_id in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def alloc(self, buffer_id: int, payload: Any = None) -> None:
+        """Create (or overwrite) the device entry for a buffer."""
+        if buffer_id not in self._table:
+            self.allocations += 1
+        self._table[buffer_id] = payload
+
+    def write(self, buffer_id: int, payload: Any) -> None:
+        """Store incoming data for an already-allocated buffer."""
+        if buffer_id not in self._table:
+            raise DeviceMemoryError(
+                f"node {self.node_id}: write to unallocated buffer {buffer_id}"
+            )
+        self._table[buffer_id] = payload
+
+    def read(self, buffer_id: int) -> Any:
+        """The resident payload; raises if the buffer is not here."""
+        try:
+            return self._table[buffer_id]
+        except KeyError:
+            raise DeviceMemoryError(
+                f"node {self.node_id}: read of non-resident buffer {buffer_id}"
+            ) from None
+
+    def delete(self, buffer_id: int) -> None:
+        if buffer_id not in self._table:
+            raise DeviceMemoryError(
+                f"node {self.node_id}: delete of non-resident buffer {buffer_id}"
+            )
+        del self._table[buffer_id]
+        self.deletions += 1
+
+    def resident_buffers(self) -> list[int]:
+        return sorted(self._table)
+
+    def wipe(self) -> None:
+        """Drop every entry (node crash: its memory contents are gone)."""
+        self._table.clear()

@@ -1,0 +1,82 @@
+"""The OMPC cluster device plugin (§4.1).
+
+"At this level ... one may encounter a plugin that uses the CUDA
+library to manage GPUs, or the OMPC plugin that relies on MPI calls to
+allow the program to run on a distributed environment."
+
+The plugin exposes each *worker node* as one offloading device
+(device ``d`` = cluster node ``d + 1``; node 0 is the head/host) and
+implements every interface operation as an event-system interaction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.machine import Cluster
+from repro.core.config import OMPCConfig
+from repro.core.device import DevicePlugin
+from repro.core.events import EventSystem
+from repro.mpi.comm import MpiWorld
+from repro.omp.task import Task
+
+
+class ClusterPlugin(DevicePlugin):
+    """MPI-backed device plugin: one device per worker node."""
+
+    def __init__(self, cluster: Cluster, config: OMPCConfig | None = None,
+                 mpi: MpiWorld | None = None):
+        if cluster.num_nodes < 2:
+            raise ValueError("a cluster plugin needs at least one worker node")
+        self.cluster = cluster
+        self.config = config or OMPCConfig()
+        self.mpi = mpi or MpiWorld(cluster)
+        self.events = EventSystem(cluster, self.mpi, self.config)
+
+    # -- device/node id mapping -----------------------------------------
+    def number_of_devices(self) -> int:
+        return self.cluster.num_nodes - 1
+
+    def node_of(self, device: int) -> int:
+        """Cluster node id backing a device id."""
+        if not 0 <= device < self.number_of_devices():
+            raise ValueError(f"device {device} out of range")
+        return device + 1
+
+    def device_of(self, node: int) -> int:
+        """Device id of a worker node."""
+        if not 1 <= node < self.cluster.num_nodes:
+            raise ValueError(f"node {node} is not a worker node")
+        return node - 1
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        self.events.start()
+
+    def shutdown(self):
+        yield from self.events.shutdown()
+
+    # -- plugin interface --------------------------------------------------
+    def data_alloc(self, device: int, buffer_id: int):
+        yield from self.events.alloc(self.node_of(device), buffer_id)
+
+    def data_delete(self, device: int, buffer_id: int):
+        yield from self.events.delete(self.node_of(device), buffer_id)
+
+    def data_submit(self, device: int, buffer_id: int, payload: Any, nbytes: float):
+        yield from self.events.submit(self.node_of(device), buffer_id, payload, nbytes)
+
+    def data_retrieve(self, device: int, buffer_id: int, nbytes: float):
+        payload = yield from self.events.retrieve(
+            self.node_of(device), buffer_id, nbytes
+        )
+        return payload
+
+    def data_exchange(self, src_device: int, dst_device: int, buffer_id: int,
+                      nbytes: float):
+        yield from self.events.exchange(
+            self.node_of(src_device), self.node_of(dst_device), buffer_id, nbytes
+        )
+
+    def run_target_region(self, device: int, task: Task):
+        yield from self.events.execute(self.node_of(device), task)

@@ -1,0 +1,329 @@
+"""The OMPC runtime: end-to-end execution of an OmpProgram on a cluster.
+
+Execution follows §3.1/§4.4:
+
+1. the process starts on the head node (startup: MPI init, event-system
+   spin-up, gate-thread creation);
+2. the control thread creates every task *without executing it* —
+   worker threads are kept idle;
+3. at the implicit barrier the whole task graph is scheduled with HEFT
+   (cost ``O(e × p)``);
+4. tasks whose dependences are satisfied are dispatched: the data
+   manager plans buffer moves (submit from head, or worker-to-worker
+   exchange), the event system performs them, and an EXECUTE event runs
+   the target region;
+5. completions release dependents until the graph drains; exit-data
+   tasks retrieve results to the head node;
+6. the event system shuts down (gate-thread destruction, process end).
+
+The §7 limitation is modeled exactly: each in-flight task occupies one
+of ``config.head_threads`` slots ("an OpenMP thread at the head node is
+always blocked, waiting for a target region to complete, even when it
+is marked as nowait"), which is what bends the weak-scaling curves at
+32–64 nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.datamanager import HOST, DataManager, Move
+from repro.core.events import EventSystem
+from repro.core.scheduler import HeftScheduler, Schedule, Scheduler
+from repro.mpi.comm import MpiWorld
+from repro.omp.api import OmpProgram
+from repro.omp.task import Task, TaskKind
+from repro.sim.primitives import AllOf
+from repro.sim.resources import Resource
+
+
+@dataclass
+class OMPCRunResult:
+    """Everything measured during one OMPC execution."""
+
+    makespan: float
+    startup_time: float
+    scheduling_time: float
+    shutdown_time: float
+    schedule: Schedule
+    #: task_id -> (dispatch, finish) simulated interval
+    task_intervals: dict[int, tuple[float, float]] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    #: Bytes moved over the fabric during the run.
+    network_bytes: float = 0.0
+    network_messages: int = 0
+
+    @property
+    def constant_overhead(self) -> float:
+        """Startup + shutdown + scheduling — the Fig. 7a numerator."""
+        return self.startup_time + self.shutdown_time + self.scheduling_time
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of wall time not spent inside task execution."""
+        if self.makespan == 0:
+            return 0.0
+        busy = sum(end - start for start, end in self.task_intervals.values())
+        return max(0.0, 1.0 - min(busy, self.makespan) / self.makespan)
+
+
+class OMPCRuntime:
+    """Run OmpPrograms on a simulated cluster through the full OMPC stack."""
+
+    def __init__(
+        self,
+        cluster_spec: ClusterSpec,
+        config: OMPCConfig | None = None,
+        scheduler: Scheduler | None = None,
+    ):
+        if cluster_spec.num_nodes < 2:
+            raise ValueError(
+                "OMPC needs a head node plus at least one worker node"
+            )
+        self.cluster_spec = cluster_spec
+        self.config = config or OMPCConfig()
+        # The default HEFT models each worker's concurrent-execution
+        # capacity, which the event-handler pool bounds (§4.2).
+        self.scheduler = scheduler or HeftScheduler(
+            exec_slots_per_node=self.config.event_handlers
+        )
+        #: The cluster of the most recent run (for inspection in tests).
+        self.last_cluster: Cluster | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, program: OmpProgram) -> OMPCRunResult:
+        program.validate()
+        cluster = Cluster(self.cluster_spec)
+        self.last_cluster = cluster
+        sim = cluster.sim
+        mpi = MpiWorld(cluster)
+        events = EventSystem(cluster, mpi, self.config)
+        dm = DataManager()
+        trace = cluster.trace
+        cfg = self.config
+
+        graph = program.graph
+        result = OMPCRunResult(
+            makespan=0.0,
+            startup_time=0.0,
+            scheduling_time=0.0,
+            shutdown_time=0.0,
+            schedule=Schedule({}),
+        )
+
+        remaining = {t.task_id: graph.in_degree(t) for t in graph.tasks()}
+        pending = len(remaining)
+        all_done = sim.event("all-tasks-done")
+        slots = Resource(sim, capacity=cfg.head_threads, name="head-threads")
+
+        def complete(task: Task) -> None:
+            nonlocal pending
+            pending -= 1
+            for succ in graph.successors(task):
+                remaining[succ.task_id] -= 1
+                if remaining[succ.task_id] == 0:
+                    sim.process(run_task(succ), name=f"task:{succ.name}")
+            if pending == 0:
+                all_done.succeed()
+
+        # -- buffer movement -------------------------------------------------
+        def perform_move(move: Move):
+            buf = move.buffer
+            if move.src == HOST:
+                payload = buf.data
+                yield from events.submit(move.dst, buf.buffer_id, payload, buf.nbytes)
+            elif move.dst == HOST:
+                payload = yield from events.retrieve(
+                    move.src, buf.buffer_id, buf.nbytes
+                )
+                buf.data = payload
+            elif cfg.forwarding_enabled:
+                yield from events.exchange(
+                    move.src, move.dst, buf.buffer_id, buf.nbytes
+                )
+            else:
+                # Ablation B: stage worker-to-worker moves via the head.
+                payload = yield from events.retrieve(
+                    move.src, buf.buffer_id, buf.nbytes
+                )
+                yield from events.submit(move.dst, buf.buffer_id, payload, buf.nbytes)
+            dm.commit_move(move)
+
+        def perform_moves(moves: list[Move]):
+            """Overlap independent buffer moves of one task."""
+            if not moves:
+                return
+            if len(moves) == 1:
+                yield from perform_move(moves[0])
+                return
+            procs = [
+                sim.process(perform_move(m), name=f"move:{m.buffer.name}")
+                for m in moves
+            ]
+            yield AllOf(sim, procs)
+
+        def perform_deletes(stale: list):
+            """Synchronously remove invalidated worker copies."""
+            for buf, holder in stale:
+                if holder != HOST:
+                    yield from events.delete(holder, buf.buffer_id)
+
+        # -- per-task execution ---------------------------------------------
+        def run_task(task: Task):
+            # §7: one head-node OpenMP thread blocks per in-flight task.
+            yield slots.request()
+            start = sim.now
+            try:
+                node = schedule.node_of(task)
+                if task.kind == TaskKind.CLASSICAL:
+                    yield from run_classical(task)
+                elif task.kind == TaskKind.TARGET_ENTER_DATA:
+                    yield from run_enter_data(task, node)
+                elif task.kind == TaskKind.TARGET_EXIT_DATA:
+                    yield from run_exit_data(task)
+                else:
+                    yield from run_target(task, node)
+            finally:
+                slots.release()
+            result.task_intervals[task.task_id] = (start, sim.now)
+            trace.record("task", task.name, start, sim.now)
+            complete(task)
+
+        def run_classical(task: Task):
+            # Classical tasks run on the head node against host memory.
+            head = cluster.head
+            yield head.cpu.request()
+            try:
+                if task.cost:
+                    yield sim.timeout(head.compute_time(task.cost))
+                if task.fn is not None:
+                    task.fn(*(d.buffer.data for d in task.deps))
+            finally:
+                head.cpu.release()
+
+        def run_enter_data(task: Task, node: int):
+            if node == HOST:
+                return  # no consumer was scheduled; data stays on host
+            moves = []
+            for buf in task.buffers:
+                moves.extend(dm.plan_enter_data(buf, node))
+            yield from perform_moves(moves)
+            for buf in task.buffers:
+                dm.commit_enter_data(buf, node)
+            # §7 extension: one-to-many proactive distribution.  When the
+            # task graph shows the buffer is read-only and consumed on
+            # several nodes, a single binomial broadcast event replaces
+            # the later per-consumer exchanges (each of which would need
+            # head orchestration).
+            if cfg.broadcast_events:
+                for buf in task.buffers:
+                    extra = broadcast_targets.get(buf.buffer_id, ())
+                    dsts = [d for d in extra if d != node and d != HOST]
+                    if not dsts:
+                        continue
+                    yield from events.broadcast(node, dsts, buf.buffer_id,
+                                                buf.nbytes)
+                    for dst in dsts:
+                        dm.commit_move(Move(buf, node, dst))
+
+        def run_exit_data(task: Task):
+            moves = []
+            for buf in task.buffers:
+                moves.extend(dm.plan_exit_data(buf))
+            yield from perform_moves(moves)
+            for buf in task.buffers:
+                removals = dm.commit_exit_data(buf)
+                yield from perform_deletes(removals)
+
+        def run_target(task: Task, node: int):
+            moves, allocs = dm.plan_for_task(task, node)
+            for buf in allocs:
+                yield from events.alloc(node, buf.buffer_id, payload=buf.data)
+                dm.commit_alloc(buf, node)
+            yield from perform_moves(moves)
+            detected = yield from events.execute(node, task)
+            stale = dm.commit_task_done(
+                task,
+                node,
+                written_ids=set(detected) if detected is not None else None,
+            )
+            yield from perform_deletes(stale)
+
+        # -- main process on the head node ------------------------------------
+        def main():
+            # 1. startup: process start -> gate-thread creation (Fig. 7a).
+            span = trace.begin("runtime", "startup")
+            yield sim.timeout(cfg.startup_time)
+            events.start()
+            trace.end(span)
+            result.startup_time = cfg.startup_time
+
+            # 2. control thread creates all tasks (workers stay idle).
+            creation = len(remaining) * cfg.task_creation_overhead
+            if creation:
+                yield sim.timeout(creation)
+
+            # 3. implicit barrier: schedule the entire graph with HEFT.
+            span = trace.begin("runtime", "scheduling")
+            sched_cost = (
+                graph.num_edges
+                * max(cluster.num_nodes - 1, 1)
+                * cfg.schedule_unit_cost
+            )
+            if sched_cost:
+                yield sim.timeout(sched_cost)
+            trace.end(span)
+            result.scheduling_time = sched_cost + 0.0
+
+            # 4./5. dispatch and drain the graph.
+            if pending == 0:
+                all_done.succeed()
+            else:
+                for root in graph.roots():
+                    sim.process(run_task(root), name=f"task:{root.name}")
+            yield all_done
+
+            # 6. shutdown: gate-thread destruction -> process end.
+            span = trace.begin("runtime", "shutdown")
+            yield from events.shutdown()
+            yield sim.timeout(cfg.shutdown_time)
+            trace.end(span)
+            result.shutdown_time = cfg.shutdown_time
+
+        # Scheduling happens inside main() in simulated time, but the
+        # assignment itself is computed eagerly here (it is deterministic
+        # and independent of the clock).
+        schedule = self.scheduler.schedule(graph, cluster)
+        result.schedule = schedule
+
+        # §7 broadcast detection: for each buffer entered via enter-data
+        # and never written afterwards (read-only on the device side),
+        # collect the distinct nodes of its consumers from the scheduled
+        # task graph.
+        broadcast_targets: dict[int, tuple[int, ...]] = {}
+        if cfg.broadcast_events:
+            readers: dict[int, set[int]] = {}
+            written: set[int] = set()
+            entered: set[int] = set()
+            for task in graph.tasks():
+                if task.kind == TaskKind.TARGET_ENTER_DATA:
+                    entered.update(b.buffer_id for b in task.buffers)
+                elif task.kind == TaskKind.TARGET:
+                    node = schedule.node_of(task)
+                    for buf in task.reads:
+                        readers.setdefault(buf.buffer_id, set()).add(node)
+                    written.update(b.buffer_id for b in task.writes)
+            for bid in entered - written:
+                nodes = sorted(readers.get(bid, ()))
+                if len(nodes) > 1:
+                    broadcast_targets[bid] = tuple(nodes)
+
+        main_proc = sim.process(main(), name="ompc-main")
+        sim.run(until=main_proc)
+        result.makespan = sim.now
+        result.counters = dict(trace.counters)
+        result.network_bytes = cluster.network.total_bytes
+        result.network_messages = cluster.network.total_messages
+        return result

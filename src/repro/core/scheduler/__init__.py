@@ -1,0 +1,26 @@
+"""Cluster-wide task schedulers (§4.4).
+
+OMPC keeps worker threads idle while the control thread creates tasks;
+at the implicit barrier the *whole* task graph is scheduled statically
+with HEFT, then dispatched.  This package provides the HEFT scheduler
+with the paper's two adaptations (classical tasks pinned to the head
+node; target-data tasks co-scheduled with their consumer/producer) plus
+simpler baselines used by the scheduler ablation (Abl. A in DESIGN.md).
+"""
+
+from repro.core.scheduler.base import Schedule, Scheduler
+from repro.core.scheduler.baselines import (
+    MinLoadScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.scheduler.heft import HeftScheduler
+
+__all__ = [
+    "HeftScheduler",
+    "MinLoadScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Schedule",
+    "Scheduler",
+]

@@ -1,0 +1,97 @@
+"""Scheduler interface and the shared co-location post-pass."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Cluster
+from repro.core.datamanager import HOST
+from repro.omp.task import Task, TaskKind
+from repro.omp.taskgraph import TaskGraph
+
+
+@dataclass
+class Schedule:
+    """A static assignment of every task to a node.
+
+    ``planned`` holds the scheduler's own start/finish estimates where
+    available (HEFT); the runtime's dynamic dispatch may deviate, the
+    assignment is what binds.
+    """
+
+    assignment: dict[int, int]
+    planned: dict[int, tuple[float, float]] = field(default_factory=dict)
+
+    def node_of(self, task: Task) -> int:
+        return self.assignment[task.task_id]
+
+    @property
+    def makespan_estimate(self) -> float:
+        return max((end for _s, end in self.planned.values()), default=0.0)
+
+
+class Scheduler(abc.ABC):
+    """Maps a complete task graph onto cluster nodes before dispatch."""
+
+    @abc.abstractmethod
+    def schedule(self, graph: TaskGraph, cluster: Cluster) -> Schedule:
+        """Assign every task in ``graph`` to a node of ``cluster``.
+
+        Worker nodes are 1..N-1; the head node (0) only ever receives
+        classical tasks and data-task endpoints per the §4.4 rules.
+        """
+
+    # ------------------------------------------------------------------
+    # shared §4.4 adaptations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def worker_nodes(cluster: Cluster) -> list[int]:
+        return [n.node_id for n in cluster.workers]
+
+    @staticmethod
+    def pin_special_tasks(
+        graph: TaskGraph, assignment: dict[int, int]
+    ) -> None:
+        """Apply the paper's placement rules for non-HEFT tasks.
+
+        * classical tasks run on the head node (OpenMP semantics);
+        * ``target enter data`` tasks are co-scheduled with the first
+          target task that uses their buffer (their successor);
+        * ``target exit data`` tasks are co-scheduled with the last
+          producer (their predecessor).
+
+        "Not scheduling both tasks in the same process would lead to
+        data being unnecessarily sent from the producer to an
+        intermediate process and then forwarded to the consumer."
+        """
+        for task in graph.tasks():
+            if task.kind == TaskKind.CLASSICAL:
+                assignment[task.task_id] = HOST
+        for task in graph.tasks():
+            if task.kind == TaskKind.TARGET_ENTER_DATA:
+                consumer = next(
+                    (
+                        s
+                        for s in graph.successors(task)
+                        if s.task_id in assignment
+                        and not s.kind.is_data_movement
+                    ),
+                    None,
+                )
+                assignment[task.task_id] = (
+                    assignment[consumer.task_id] if consumer else HOST
+                )
+            elif task.kind == TaskKind.TARGET_EXIT_DATA:
+                producer = next(
+                    (
+                        p
+                        for p in reversed(graph.predecessors(task))
+                        if p.task_id in assignment
+                        and not p.kind.is_data_movement
+                    ),
+                    None,
+                )
+                assignment[task.task_id] = (
+                    assignment[producer.task_id] if producer else HOST
+                )

@@ -1,0 +1,73 @@
+"""Baseline schedulers for the scheduler ablation (Abl. A).
+
+§4.4 motivates static HEFT over the dynamic work-stealing LLVM uses on
+a single node.  These baselines quantify that choice: round-robin and
+random ignore both load and locality; min-load balances compute but
+ignores communication.  All reuse the §4.4 pinning rules for classical
+and data-movement tasks.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster
+from repro.core.datamanager import HOST
+from repro.core.scheduler.base import Schedule, Scheduler
+from repro.omp.task import TaskKind
+from repro.omp.taskgraph import TaskGraph
+from repro.util.rng import derive_rng
+
+
+class RoundRobinScheduler(Scheduler):
+    """Target tasks dealt to workers cyclically in program order."""
+
+    def schedule(self, graph: TaskGraph, cluster: Cluster) -> Schedule:
+        workers = self.worker_nodes(cluster)
+        assignment: dict[int, int] = {}
+        i = 0
+        for task in graph.tasks():
+            if task.kind == TaskKind.TARGET:
+                assignment[task.task_id] = workers[i % len(workers)] if workers else HOST
+                i += 1
+        self.pin_special_tasks(graph, assignment)
+        return Schedule(assignment)
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random placement (seeded, reproducible)."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def schedule(self, graph: TaskGraph, cluster: Cluster) -> Schedule:
+        workers = self.worker_nodes(cluster)
+        rng = derive_rng(self.seed, "random-scheduler")
+        assignment: dict[int, int] = {}
+        for task in graph.tasks():
+            if task.kind == TaskKind.TARGET:
+                assignment[task.task_id] = (
+                    int(rng.choice(workers)) if workers else HOST
+                )
+        self.pin_special_tasks(graph, assignment)
+        return Schedule(assignment)
+
+
+class MinLoadScheduler(Scheduler):
+    """Greedy least-accumulated-work placement (load, not locality)."""
+
+    def schedule(self, graph: TaskGraph, cluster: Cluster) -> Schedule:
+        workers = self.worker_nodes(cluster)
+        assignment: dict[int, int] = {}
+        load = {n: 0.0 for n in workers}
+        for task in graph.topological_order():
+            if task.kind != TaskKind.TARGET:
+                continue
+            if not workers:
+                assignment[task.task_id] = HOST
+                continue
+            # Deterministic tie-break on node id.
+            node = min(workers, key=lambda n: (load[n], n))
+            duration = task.cost / cluster.node(node).spec.speed
+            load[node] += duration
+            assignment[task.task_id] = node
+        self.pin_special_tasks(graph, assignment)
+        return Schedule(assignment)

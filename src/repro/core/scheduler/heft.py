@@ -1,0 +1,249 @@
+"""HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al. [34]).
+
+Standard two-phase HEFT with an insertion-based processor selection,
+run over the *compute* tasks (targets); classical and data-movement
+tasks are placed by the §4.4 adaptation rules afterwards.
+
+Cost model
+----------
+* ``w(t, n) = t.cost / speed(n)`` — execution time of task ``t`` on
+  node ``n``; the ranking phase uses the mean over worker nodes.
+* ``c(u, v) = latency + bytes(u→v) / bandwidth`` when ``u`` and ``v``
+  run on different nodes, else 0.  ``bytes(u→v)`` is the total size of
+  buffers written by ``u`` and read by ``v``.
+* Tasks whose input buffers originate on the host (entered via
+  ``target enter data``) additionally see a host-staging term: the
+  transfer host → candidate-node, available from time 0.
+
+Complexity is ``O(e × p)`` (§4.4): each edge is examined once per
+candidate node during processor selection.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+
+from repro.cluster.machine import Cluster
+from repro.core.datamanager import HOST
+from repro.core.scheduler.base import Schedule, Scheduler
+from repro.omp.task import Task, TaskKind
+from repro.omp.taskgraph import TaskGraph
+
+
+def shared_bytes(producer: Task, consumer: Task) -> float:
+    """Bytes flowing along the dependence edge ``producer → consumer``."""
+    produced = {b.buffer_id: b.nbytes for b in producer.writes}
+    return sum(nbytes for bid, nbytes in produced.items()
+               if any(b.buffer_id == bid for b in consumer.reads))
+
+
+class _SlotTimeline:
+    """Busy intervals of one execution slot, insertion-based EST."""
+
+    def __init__(self):
+        self._busy: list[tuple[float, float]] = []
+
+    def earliest_start(self, ready: float, duration: float) -> float:
+        """Earliest start ≥ ready such that [start, start+duration) is free."""
+        start = ready
+        for begin, end in self._busy:
+            if start + duration <= begin:
+                break
+            start = max(start, end)
+        return start
+
+    def insert(self, start: float, end: float) -> None:
+        bisect.insort(self._busy, (start, end))
+
+
+class _NodeTimeline:
+    """A node's execution capacity: one slot per core.
+
+    Classic HEFT treats each processor as serial; an OMPC "device" is a
+    whole node whose cores run many target tasks concurrently, so the
+    schedule models ``cores`` parallel slots.  Slots are created lazily:
+    a new slot is used whenever the existing ones cannot start the task
+    at its ready time and capacity remains.
+    """
+
+    def __init__(self, cores: int):
+        self._cores = max(1, cores)
+        self._slots: list[_SlotTimeline] = [_SlotTimeline()]
+
+    def earliest_start(self, ready: float, duration: float) -> float:
+        best = min(s.earliest_start(ready, duration) for s in self._slots)
+        if best > ready and len(self._slots) < self._cores:
+            return ready  # a fresh core can take it immediately
+        return best
+
+    def insert(self, start: float, end: float) -> None:
+        for slot in self._slots:
+            if slot.earliest_start(start, end - start) == start:
+                slot.insert(start, end)
+                return
+        if len(self._slots) < self._cores:
+            fresh = _SlotTimeline()
+            fresh.insert(start, end)
+            self._slots.append(fresh)
+            return
+        raise AssertionError("insert() must follow earliest_start()")
+
+
+class HeftScheduler(Scheduler):
+    """The OMPC production scheduler.
+
+    ``exec_slots_per_node`` is the number of target regions one worker
+    executes concurrently — bounded by the event-handler pool of the
+    runtime (§4.2), not by raw core count.  The scheduler must model
+    the capacity of the machine it schedules for, or it collapses
+    communication-free chains (e.g. Task Bench's tree) onto one node
+    whose handlers then serialize them.
+    """
+
+    def __init__(self, exec_slots_per_node: int = 4, affinity_stickiness: float = 1.0):
+        if exec_slots_per_node < 1:
+            raise ValueError("exec_slots_per_node must be >= 1")
+        if affinity_stickiness < 0:
+            raise ValueError("affinity_stickiness must be >= 0")
+        self.exec_slots_per_node = exec_slots_per_node
+        #: How much EFT slack (in units of the task's input-communication
+        #: cost) the scheduler accepts to keep a task on its affinity's
+        #: home node.  EFT prices each edge in isolation, so it sees
+        #: migration as free whenever inputs are remote either way — but
+        #: at runtime migration multiplies coherency traffic (the write
+        #: invalidations and re-fetches of §4.3) and NIC contention.
+        #: Stickiness 1.0 holds a chain in place unless moving wins more
+        #: than one full input-transfer time.
+        self.affinity_stickiness = affinity_stickiness
+
+    def schedule(self, graph: TaskGraph, cluster: Cluster) -> Schedule:
+        workers = self.worker_nodes(cluster)
+        if not workers:
+            # Degenerate single-node cluster: everything on the head.
+            assignment = {t.task_id: HOST for t in graph.tasks()}
+            return Schedule(assignment)
+
+        net = cluster.network.spec
+        speeds = {n: cluster.node(n).spec.speed for n in workers}
+        mean_speed = sum(speeds.values()) / len(speeds)
+
+        targets = [t for t in graph.tasks() if t.kind == TaskKind.TARGET]
+        target_ids = {t.task_id for t in targets}
+
+        # -- derive compute-graph neighbor sets with edge bytes ------------
+        succ_bytes: dict[int, list[tuple[Task, float]]] = defaultdict(list)
+        pred_bytes: dict[int, list[tuple[Task, float]]] = defaultdict(list)
+        host_staging: dict[int, float] = defaultdict(float)
+        for task in targets:
+            for pred in graph.predecessors(task):
+                if pred.task_id in target_ids:
+                    nbytes = shared_bytes(pred, task)
+                    pred_bytes[task.task_id].append((pred, nbytes))
+                    succ_bytes[pred.task_id].append((task, nbytes))
+                elif pred.kind == TaskKind.TARGET_ENTER_DATA:
+                    # Input staged from the host at program start.
+                    host_staging[task.task_id] += shared_bytes(pred, task)
+                elif pred.kind == TaskKind.CLASSICAL:
+                    # Produced on the head node; treat like host staging.
+                    host_staging[task.task_id] += shared_bytes(pred, task)
+
+        # -- upward ranks ---------------------------------------------------
+        def mean_comm(nbytes: float) -> float:
+            return net.latency + nbytes / net.bandwidth
+
+        rank_u: dict[int, float] = {}
+        for task in reversed(graph.topological_order()):
+            if task.task_id not in target_ids:
+                continue
+            w_bar = task.cost / mean_speed
+            best_succ = max(
+                (
+                    mean_comm(nbytes) + rank_u[succ.task_id]
+                    for succ, nbytes in succ_bytes[task.task_id]
+                ),
+                default=0.0,
+            )
+            rank_u[task.task_id] = w_bar + best_succ
+
+        # Descending rank_u is a valid topological order of the compute
+        # graph; ties broken by task id for determinism.
+        order = sorted(targets, key=lambda t: (-rank_u[t.task_id], t.task_id))
+
+        # -- processor selection (insertion-based EFT) -----------------------
+        timelines = {
+            n: _NodeTimeline(
+                min(cluster.node(n).spec.cores, self.exec_slots_per_node)
+            )
+            for n in workers
+        }
+        assignment: dict[int, int] = {}
+        planned: dict[int, tuple[float, float]] = {}
+        # Locality tie-break state: where each task affinity last ran.
+        # Symmetric graphs (e.g. a stencil interior point choosing between
+        # its two neighbours' nodes) produce exact EFT ties; classic HEFT
+        # then drifts tasks across nodes every step, multiplying traffic.
+        # Programs may tag tasks with an ``affinity`` meta key (the Task
+        # Bench port uses the grid point); tied candidates prefer the
+        # affinity's previous node, keeping logical chains in place.
+        # Integer affinities are pre-seeded block-contiguously — the
+        # index-based initial distribution every data-aware task runtime
+        # (StarPU data homes, Legion mappers) starts from — so adjacent
+        # chains land on the same node and only block boundaries talk.
+        affinity_home: dict[object, int] = {}
+        load: dict[int, int] = {n: 0 for n in workers}
+        int_affinities = sorted(
+            {
+                task.meta["affinity"]
+                for task in targets
+                if isinstance(task.meta.get("affinity"), int)
+            }
+        )
+        for i, aff in enumerate(int_affinities):
+            affinity_home[aff] = workers[i * len(workers) // len(int_affinities)]
+
+        for task in order:
+            candidates: list[tuple[float, float, int]] = []  # (EFT, EST, node)
+            for node in workers:
+                ready = 0.0
+                if host_staging[task.task_id]:
+                    ready = mean_comm(host_staging[task.task_id])
+                for pred, nbytes in pred_bytes[task.task_id]:
+                    pred_finish = planned[pred.task_id][1]
+                    if assignment[pred.task_id] != node:
+                        pred_finish += net.latency + nbytes / net.bandwidth
+                    ready = max(ready, pred_finish)
+                duration = task.cost / speeds[node]
+                est = timelines[node].earliest_start(ready, duration)
+                candidates.append((est + duration, est, node))
+
+            best_eft = min(c[0] for c in candidates)
+            affinity = task.meta.get("affinity")
+            home = affinity_home.get(affinity) if affinity is not None else None
+            input_comm = max(
+                (
+                    mean_comm(nbytes)
+                    for _p, nbytes in pred_bytes[task.task_id]
+                ),
+                default=mean_comm(host_staging[task.task_id]),
+            )
+            tol = best_eft * 1e-9 + 1e-15
+            if home is not None:
+                tol += self.affinity_stickiness * input_comm
+            tied = [c for c in candidates if c[0] <= best_eft + tol]
+            # Tie order: affinity home first, then least-loaded node (so
+            # independent tasks fan out instead of packing into the
+            # lowest node's free slots), then EFT/EST/node id.
+            eft, est, node = min(
+                tied,
+                key=lambda c: (c[2] != home, load[c[2]], c[0], c[1], c[2]),
+            )
+            load[node] += 1
+            if affinity is not None:
+                affinity_home[affinity] = node
+            assignment[task.task_id] = node
+            planned[task.task_id] = (est, eft)
+            timelines[node].insert(est, eft)
+
+        self.pin_special_tasks(graph, assignment)
+        return Schedule(assignment, planned)

@@ -1,0 +1,35 @@
+"""Per-event MPI tag allocation (§4.2).
+
+"Each event receives a unique MPI tag local to the origin process which
+is shared with the destination process in the new event notification.
+This way, all MPI communications between the processes use the same
+tag, which, alongside the origin and destination ranks, ensures that
+only a given event will receive its own messages."
+"""
+
+from __future__ import annotations
+
+#: Tag carried by new-event notifications on the control communicator.
+NOTIFY_TAG = 0
+
+#: First tag handed out for event payload traffic (0 is the notify tag).
+FIRST_EVENT_TAG = 1
+
+
+class TagAllocator:
+    """Monotone tag source, one per origin process."""
+
+    def __init__(self, first: int = FIRST_EVENT_TAG):
+        if first < FIRST_EVENT_TAG:
+            raise ValueError(f"first tag must be >= {FIRST_EVENT_TAG}")
+        self._next = first
+
+    def allocate(self) -> int:
+        tag = self._next
+        self._next += 1
+        return tag
+
+    @property
+    def allocated(self) -> int:
+        """How many tags have been handed out."""
+        return self._next - FIRST_EVENT_TAG

@@ -1,0 +1,193 @@
+"""Collective operations built on point-to-point messaging.
+
+Algorithms are the textbook logarithmic ones (binomial trees and
+recursive doubling) so collective cost scales ``O(log p)`` like a real
+MPI.  Every rank participating in a collective must call the matching
+generator; tags are drawn from a reserved high range so collectives
+never collide with application point-to-point traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.mpi.comm import Rank
+from repro.mpi.request import Request
+
+#: Tag range reserved for collectives.  Each collective call site on a
+#: communicator should use a distinct ``phase`` to disambiguate back-to-
+#: back collectives of the same type.
+_COLL_BASE = 1 << 24
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    """Rank relabeling that places ``root`` at virtual rank 0."""
+    return (rank - root) % size
+
+
+def _unvrank(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def bcast(rank: Rank, value: Any, nbytes: float = 0.0, root: int = 0, phase: int = 0):
+    """Generator: binomial-tree broadcast; returns the value on all ranks."""
+    size = rank.size
+    me = _vrank(rank.rank_id, root, size)
+    tag = _COLL_BASE + phase
+
+    received = value if me == 0 else None
+    # Phase 1: climb the mask until we find the bit at which this rank
+    # receives from its binomial parent (root never receives).
+    mask = 1
+    while mask < size:
+        if me & mask:
+            msg = yield from rank.recv(_unvrank(me - mask, root, size), tag)
+            received = msg.payload
+            break
+        mask <<= 1
+    # Phase 2: forward to children at strides below the receive bit.
+    mask >>= 1
+    while mask > 0:
+        child = me + mask
+        if child < size:
+            yield from rank.send(_unvrank(child, root, size), received, nbytes, tag)
+        mask >>= 1
+    return received
+
+
+def gather(rank: Rank, value: Any, nbytes: float = 0.0, root: int = 0, phase: int = 0):
+    """Generator: gather values to ``root``; returns list there, None elsewhere.
+
+    Uses a flat gather (children send directly to root).  The OMPC
+    runtime only gathers small control payloads, where flat is what
+    MPICH does too (short protocol).
+    """
+    size = rank.size
+    tag = _COLL_BASE + (1 << 8) + phase
+    if rank.rank_id == root:
+        values: list[Any] = [None] * size
+        values[root] = value
+        for _ in range(size - 1):
+            msg = yield from rank.recv(tag=tag)
+            values[msg.src] = msg.payload
+        return values
+    yield from rank.send(root, value, nbytes, tag)
+    return None
+
+
+def reduce(
+    rank: Rank,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    nbytes: float = 0.0,
+    root: int = 0,
+    phase: int = 0,
+):
+    """Generator: binomial-tree reduction to ``root``."""
+    size = rank.size
+    me = _vrank(rank.rank_id, root, size)
+    tag = _COLL_BASE + (2 << 8) + phase
+    acc = value
+    mask = 1
+    while mask < size:
+        if me & mask:
+            yield from rank.send(_unvrank(me ^ mask, root, size), acc, nbytes, tag)
+            return None
+        partner = me | mask
+        if partner < size:
+            msg = yield from rank.recv(_unvrank(partner, root, size), tag)
+            acc = op(acc, msg.payload)
+        mask <<= 1
+    return acc if me == 0 else None
+
+
+def barrier(rank: Rank, phase: int = 0):
+    """Generator: dissemination barrier (log2(p) rounds)."""
+    size = rank.size
+    me = rank.rank_id
+    tag = _COLL_BASE + (3 << 8) + phase
+    mask = 1
+    round_no = 0
+    while mask < size:
+        dst = (me + mask) % size
+        src = (me - mask) % size
+        req = rank.isend(dst, None, 0.0, tag + (round_no << 4))
+        yield from rank.recv(src, tag + (round_no << 4))
+        yield from req.wait()
+        mask <<= 1
+        round_no += 1
+
+
+def allreduce(
+    rank: Rank,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    nbytes: float = 0.0,
+    phase: int = 0,
+):
+    """Generator: reduce to rank 0 then broadcast (correct for any op)."""
+    reduced = yield from reduce(rank, value, op, nbytes, root=0, phase=phase)
+    result = yield from bcast(rank, reduced, nbytes, root=0, phase=phase)
+    return result
+
+
+def allgather(rank: Rank, value: Any, nbytes: float = 0.0, phase: int = 0):
+    """Generator: every rank receives every rank's value (ring algorithm).
+
+    ``p - 1`` rounds; in round ``r`` each rank forwards the value it
+    received in round ``r - 1`` to its right neighbor — the classic
+    bandwidth-optimal ring allgather.
+    """
+    size = rank.size
+    me = rank.rank_id
+    tag = _COLL_BASE + (5 << 8) + phase
+    values: list[Any] = [None] * size
+    values[me] = value
+    carrying = value
+    right = (me + 1) % size
+    left = (me - 1) % size
+    for round_no in range(size - 1):
+        req = rank.isend(right, carrying, nbytes, tag + (round_no << 4))
+        msg = yield from rank.recv(left, tag + (round_no << 4))
+        yield from req.wait()
+        carrying = msg.payload
+        values[(me - round_no - 1) % size] = carrying
+    return values
+
+
+def alltoall(rank: Rank, values: list | None, nbytes: float = 0.0, phase: int = 0):
+    """Generator: personalized exchange — rank i sends ``values[j]`` to
+    rank j and receives one value from every rank (pairwise exchanges)."""
+    size = rank.size
+    me = rank.rank_id
+    tag = _COLL_BASE + (6 << 8) + phase
+    if values is None or len(values) != size:
+        raise ValueError("alltoall requires one value per rank")
+    result: list[Any] = [None] * size
+    result[me] = values[me]
+    reqs = []
+    for dst in range(size):
+        if dst != me:
+            reqs.append(rank.isend(dst, values[dst], nbytes, tag))
+    for _ in range(size - 1):
+        msg = yield from rank.recv(tag=tag)
+        result[msg.src] = msg.payload
+    yield from Request.wait_all(reqs)
+    return result
+
+
+def scatter(rank: Rank, values: list | None, nbytes: float = 0.0, root: int = 0, phase: int = 0):
+    """Generator: root sends ``values[i]`` to rank ``i``; returns own slice."""
+    tag = _COLL_BASE + (4 << 8) + phase
+    if rank.rank_id == root:
+        if values is None or len(values) != rank.size:
+            raise ValueError("root must supply one value per rank")
+        reqs = []
+        for dst in range(rank.size):
+            if dst == root:
+                continue
+            reqs.append(rank.isend(dst, values[dst], nbytes, tag))
+        yield from Request.wait_all(reqs)
+        return values[root]
+    msg = yield from rank.recv(root, tag)
+    return msg.payload

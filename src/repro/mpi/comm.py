@@ -1,0 +1,171 @@
+"""Communicators, ranks, and point-to-point messaging.
+
+Matching semantics follow MPI: a receive names ``(source, tag)`` within
+one communicator; either may be a wildcard.  Matching is FIFO over the
+arrival order at the receiver, which — combined with per-(comm, src)
+sequence numbers — preserves the non-overtaking rule.
+
+Protocol model: *eager*.  A send charges a per-message software overhead
+plus the fabric transfer time (VCI-contended), then the message lands in
+the receiver's matching queue.  The sender never blocks on the receiver;
+this matches how MPICH handles the small-to-medium control messages the
+OMPC event system exchanges, and the bulk-data sends in our workloads
+are always pre-posted on the receive side.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.cluster.machine import Cluster
+from repro.mpi.datatypes import Message
+from repro.mpi.errors import MpiError
+from repro.mpi.request import Request
+from repro.sim.resources import Store
+from repro.util.units import MICROSECOND
+
+#: Receive-source wildcard (``MPI_ANY_SOURCE``).
+ANY_SOURCE = -1
+#: Receive-tag wildcard (``MPI_ANY_TAG``).
+ANY_TAG = -1
+
+
+class MpiWorld:
+    """All MPI state for one cluster: ranks, queues, communicators.
+
+    ``overhead`` is the per-message software cost (matching, packing,
+    progress-engine work) charged on the sending side; 0.5 µs is in line
+    with measured MPICH/UCX small-message overheads.
+    """
+
+    def __init__(self, cluster: Cluster, overhead: float = 0.5 * MICROSECOND):
+        if overhead < 0:
+            raise ValueError("overhead must be >= 0")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.overhead = overhead
+        self._next_comm_id = 0
+        # Matching queues are per (rank, comm); one Store per pair, lazily
+        # created, so traffic on one communicator never scans another's.
+        self._queues: dict[tuple[int, int], Store] = {}
+        self.world = self.new_communicator()
+
+    @property
+    def size(self) -> int:
+        return self.cluster.num_nodes
+
+    def new_communicator(self) -> "Communicator":
+        comm = Communicator(self, self._next_comm_id)
+        self._next_comm_id += 1
+        return comm
+
+    def _queue(self, rank: int, comm_id: int) -> Store:
+        key = (rank, comm_id)
+        store = self._queues.get(key)
+        if store is None:
+            store = Store(self.sim, name=f"mpi.q{rank}.c{comm_id}")
+            self._queues[key] = store
+        return store
+
+
+class Communicator:
+    """An isolated message-matching context (like ``MPI_Comm``)."""
+
+    def __init__(self, mpi: MpiWorld, comm_id: int):
+        self.mpi = mpi
+        self.comm_id = comm_id
+        self._send_seq: dict[int, int] = defaultdict(int)
+
+    @property
+    def size(self) -> int:
+        return self.mpi.size
+
+    def rank(self, rank_id: int) -> "Rank":
+        """Bind a rank identity for issuing operations."""
+        self._check_rank(rank_id)
+        return Rank(self, rank_id)
+
+    def dup(self) -> "Communicator":
+        """Duplicate: a new communicator over the same group."""
+        return self.mpi.new_communicator()
+
+    def _check_rank(self, rank_id: int) -> None:
+        if not 0 <= rank_id < self.size:
+            raise MpiError(f"rank {rank_id} out of range [0, {self.size})")
+
+    # -- internals shared by Rank --------------------------------------------
+    def _isend(self, src: int, dst: int, payload: Any, nbytes: float, tag: int) -> Request:
+        self._check_rank(src)
+        self._check_rank(dst)
+        if tag < 0:
+            raise MpiError(f"send tag must be >= 0, got {tag}")
+        seq = self._send_seq[src]
+        self._send_seq[src] = seq + 1
+        msg = Message(self.comm_id, src, dst, tag, payload, nbytes, seq)
+        proc = self.mpi.sim.process(self._deliver(msg), name=f"isend:{src}->{dst}:t{tag}")
+        return Request(proc, "send")
+
+    def _deliver(self, msg: Message):
+        sim = self.mpi.sim
+        if self.mpi.overhead:
+            yield sim.timeout(self.mpi.overhead)
+        yield from self.mpi.cluster.network.transfer(msg.src, msg.dst, msg.nbytes)
+        yield self.mpi._queue(msg.dst, self.comm_id).put(msg)
+
+    def _irecv(self, dst: int, src: int, tag: int) -> Request:
+        self._check_rank(dst)
+        if src != ANY_SOURCE:
+            self._check_rank(src)
+        if tag < 0 and tag != ANY_TAG:
+            raise MpiError(f"recv tag must be >= 0 or ANY_TAG, got {tag}")
+
+        def match(msg: Message) -> bool:
+            if src != ANY_SOURCE and msg.src != src:
+                return False
+            if tag != ANY_TAG and msg.tag != tag:
+                return False
+            return True
+
+        get = self.mpi._queue(dst, self.comm_id).get(match)
+        return Request(get, "recv")
+
+
+class Rank:
+    """A rank identity bound to one communicator.
+
+    All methods that move data are generators (``yield from``) or return
+    :class:`Request` handles; they must be driven from inside a sim
+    process running "on" the corresponding node.
+    """
+
+    def __init__(self, comm: Communicator, rank_id: int):
+        self.comm = comm
+        self.rank_id = rank_id
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def on(self, comm: Communicator) -> "Rank":
+        """This same rank identity on a different communicator."""
+        return comm.rank(self.rank_id)
+
+    # -- nonblocking -------------------------------------------------------
+    def isend(self, dst: int, payload: Any, nbytes: float = 0.0, tag: int = 0) -> Request:
+        return self.comm._isend(self.rank_id, dst, payload, nbytes, tag)
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return self.comm._irecv(self.rank_id, src, tag)
+
+    # -- blocking (generators) ------------------------------------------------
+    def send(self, dst: int, payload: Any, nbytes: float = 0.0, tag: int = 0):
+        """Generator: send and wait for local completion."""
+        req = self.isend(dst, payload, nbytes, tag)
+        yield from req.wait()
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: receive the next matching message (returns it)."""
+        req = self.irecv(src, tag)
+        msg = yield from req.wait()
+        return msg

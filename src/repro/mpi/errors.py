@@ -1,0 +1,7 @@
+"""MPI-layer errors."""
+
+from repro.sim.errors import SimulationError
+
+
+class MpiError(SimulationError):
+    """Invalid MPI usage (bad rank, bad tag, mismatched communicator)."""

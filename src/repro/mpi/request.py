@@ -1,0 +1,45 @@
+"""Nonblocking-operation handles, mirroring ``MPI_Request``."""
+
+from __future__ import annotations
+
+from repro.sim.core import Event
+
+
+class Request:
+    """Handle for an in-flight nonblocking send or receive.
+
+    ``yield from req.wait()`` blocks the calling process until the
+    operation completes and returns its value (the received message's
+    payload for receives, ``None`` for sends).  ``test()`` polls without
+    blocking.
+    """
+
+    def __init__(self, event: Event, kind: str):
+        self._event = event
+        self.kind = kind
+
+    @property
+    def event(self) -> Event:
+        return self._event
+
+    def test(self) -> bool:
+        """True once the operation has completed."""
+        return self._event.processed
+
+    def wait(self):
+        """Generator: wait for completion and return the result."""
+        value = yield self._event
+        return value
+
+    @staticmethod
+    def wait_all(requests: list["Request"]):
+        """Generator: wait for every request (like ``MPI_Waitall``)."""
+        results = []
+        for req in requests:
+            value = yield req.event
+            results.append(value)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.test() else "pending"
+        return f"<Request {self.kind} {state}>"

@@ -1,0 +1,31 @@
+"""Round-robin communicator pool for VCI utilisation.
+
+The OMPC event system "creates a set of Communicators at the beginning
+of the program.  Whenever a new event is created, one communicator is
+selected in a round-robin fashion based on its MPI tag" (§4.2).  MPICH
+maps distinct communicators (and, recently, distinct tags) to distinct
+hardware Virtual Communication Interfaces, so spreading events across
+communicators spreads them across network contexts.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import Communicator, MpiWorld
+
+
+class CommunicatorPool:
+    """A fixed set of duplicated communicators, selected by tag."""
+
+    def __init__(self, mpi: MpiWorld, size: int):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.comms: list[Communicator] = [mpi.new_communicator() for _ in range(size)]
+
+    def __len__(self) -> int:
+        return len(self.comms)
+
+    def select(self, tag: int) -> Communicator:
+        """The communicator assigned to ``tag`` (round-robin by value)."""
+        if tag < 0:
+            raise ValueError("tag must be >= 0")
+        return self.comms[tag % len(self.comms)]

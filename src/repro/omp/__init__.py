@@ -1,0 +1,39 @@
+"""OpenMP host model: tasks, dependences, target regions, task graphs.
+
+This subpackage plays the role of Clang's OpenMP code generation plus
+the host-side OpenMP runtime (§2 of the paper): user code declares
+buffers and annotated tasks (``task`` / ``target nowait`` with
+``depend`` and ``map`` clauses), and the model builds the dependency
+graph the OMPC runtime consumes.  A single-node host runtime
+(:mod:`repro.omp.host`) executes the same program on one machine's
+cores, giving the paper's "prototype on a laptop, scale to a cluster"
+workflow a concrete meaning in this codebase.
+"""
+
+from repro.omp.api import OmpProgram
+from repro.omp.depend import DependenceAnalyzer
+from repro.omp.task import (
+    Buffer,
+    Dep,
+    DepType,
+    Task,
+    TaskKind,
+    depend_in,
+    depend_inout,
+    depend_out,
+)
+from repro.omp.taskgraph import TaskGraph
+
+__all__ = [
+    "Buffer",
+    "Dep",
+    "DepType",
+    "DependenceAnalyzer",
+    "OmpProgram",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+    "depend_in",
+    "depend_inout",
+    "depend_out",
+]

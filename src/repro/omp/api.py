@@ -1,0 +1,175 @@
+"""Programmer-facing API: build an OpenMP-annotated program.
+
+An :class:`OmpProgram` records, in program order, what the control
+thread would dispatch: mapped buffers, ``target enter/exit data
+nowait`` transfers, ``target nowait`` compute tasks, and classical
+``task`` regions.  Listing 1 of the paper becomes::
+
+    prog = OmpProgram()
+    A = prog.buffer(nbytes=N * 8, data=my_array, name="A")
+    prog.target_enter_data(A)                        # map(to: A[:N]) nowait
+    prog.target(foo, depend=[inout(A)], cost=0.05)   # target nowait
+    prog.target(bar, depend=[inout(A)], cost=0.05)   # target nowait
+    prog.target_exit_data(A)                         # map(release/from) nowait
+
+The same program object runs unchanged on the single-node host runtime
+(:class:`repro.omp.host.HostRuntime`) or on the OMPC cluster runtime
+(:class:`repro.core.runtime.OMPCRuntime`) — the paper's central claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable
+
+from repro.omp.depend import DependenceAnalyzer
+from repro.omp.task import (
+    Buffer,
+    Dep,
+    DepType,
+    Task,
+    TaskKind,
+    depend_out,
+)
+from repro.omp.taskgraph import TaskGraph
+
+
+class OmpProgram:
+    """An ordered sequence of annotated tasks plus the derived graph."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.buffers: list[Buffer] = []
+        self.graph = TaskGraph()
+        self._analyzer = DependenceAnalyzer()
+        self._task_ids = itertools.count()
+
+    # -- buffers --------------------------------------------------------
+    def buffer(self, nbytes: float, data: Any = None, name: str = "") -> Buffer:
+        """Declare a mappable buffer (a future ``map`` clause operand)."""
+        buf = Buffer(nbytes, data, name)
+        self.buffers.append(buf)
+        return buf
+
+    # -- task creation ----------------------------------------------------
+    def _add(self, task: Task) -> Task:
+        self.graph.add_task(task)
+        for pred, succ in self._analyzer.edges_for(task):
+            self.graph.add_edge(pred, succ)
+        return task
+
+    def target(
+        self,
+        fn: Callable[..., Any] | None = None,
+        depend: Iterable[Dep] = (),
+        cost: float = 0.0,
+        name: str = "",
+        **meta: Any,
+    ) -> Task:
+        """``#pragma omp target nowait depend(...)`` — offloadable task.
+
+        ``cost`` is the nominal compute time on a speed-1.0 node; ``fn``
+        (optional) receives the dependence buffers' ``data`` payloads in
+        clause order when the task runs.
+        """
+        return self._add(
+            Task(
+                task_id=next(self._task_ids),
+                kind=TaskKind.TARGET,
+                deps=tuple(depend),
+                cost=cost,
+                fn=fn,
+                name=name,
+                meta=dict(meta),
+            )
+        )
+
+    def task(
+        self,
+        fn: Callable[..., Any] | None = None,
+        depend: Iterable[Dep] = (),
+        cost: float = 0.0,
+        name: str = "",
+        **meta: Any,
+    ) -> Task:
+        """``#pragma omp task depend(...)`` — classical host task.
+
+        Under OMPC these are unconditionally scheduled on the head node
+        (§4.4), preserving OpenMP semantics.
+        """
+        return self._add(
+            Task(
+                task_id=next(self._task_ids),
+                kind=TaskKind.CLASSICAL,
+                deps=tuple(depend),
+                cost=cost,
+                fn=fn,
+                name=name,
+                meta=dict(meta),
+            )
+        )
+
+    def target_enter_data(self, *buffers: Buffer, name: str = "") -> Task:
+        """``target enter data map(to: ...) nowait depend(out: ...)``.
+
+        Declares each buffer as written (the device copy is created), so
+        later readers of the buffer depend on this transfer — exactly
+        Listing 1 line 1.
+        """
+        if not buffers:
+            raise ValueError("enter data requires at least one buffer")
+        deps = tuple(depend_out(b) for b in buffers)
+        return self._add(
+            Task(
+                task_id=next(self._task_ids),
+                kind=TaskKind.TARGET_ENTER_DATA,
+                deps=deps,
+                buffers=tuple(buffers),
+                name=name,
+            )
+        )
+
+    def target_exit_data(self, *buffers: Buffer, name: str = "") -> Task:
+        """``target exit data map(from/release: ...) nowait depend(in|out)``.
+
+        Reads each buffer's final value (retrieving it to the host) and
+        releases the device copies — Listing 1 line 6.
+        """
+        if not buffers:
+            raise ValueError("exit data requires at least one buffer")
+        deps = tuple(Dep(b, DepType.INOUT) for b in buffers)
+        return self._add(
+            Task(
+                task_id=next(self._task_ids),
+                kind=TaskKind.TARGET_EXIT_DATA,
+                deps=deps,
+                buffers=tuple(buffers),
+                name=name,
+            )
+        )
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def tasks(self) -> list[Task]:
+        return list(self.graph.tasks())
+
+    def target_tasks(self) -> list[Task]:
+        return [t for t in self.graph.tasks() if t.kind == TaskKind.TARGET]
+
+    def validate(self) -> None:
+        """Check structural invariants before handing to a runtime."""
+        self.graph.validate()
+        known = {b.buffer_id for b in self.buffers}
+        for task in self.graph.tasks():
+            for buf in task.touched:
+                if buf.buffer_id not in known:
+                    raise ValueError(
+                        f"task {task.name} touches undeclared buffer {buf.name}; "
+                        "declare buffers via OmpProgram.buffer()"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<OmpProgram {self.name!r} tasks={len(self.graph)} "
+            f"edges={self.graph.num_edges} buffers={len(self.buffers)}>"
+        )

@@ -1,0 +1,76 @@
+"""Sequential-program-order dependence analysis.
+
+Implements the OpenMP ``depend`` clause semantics (§2): tasks are
+created in program order by the control thread, and an edge is added
+from an earlier task to a later one when their clauses conflict on the
+same list item:
+
+* read-after-write  (later ``in``/``inout`` after earlier ``out``/``inout``)
+* write-after-write (later ``out``/``inout`` after earlier ``out``/``inout``)
+* write-after-read  (later ``out``/``inout`` after earlier ``in``/``inout``)
+
+Pure data-movement tasks participate exactly like compute tasks — the
+paper represents ``target data nowait`` clauses as graph nodes (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.omp.task import Buffer, Task
+
+
+@dataclass
+class _BufferHistory:
+    """Per-buffer tracking of the last writer and subsequent readers."""
+
+    last_writer: Task | None = None
+    readers_since_write: list[Task] = field(default_factory=list)
+
+
+class DependenceAnalyzer:
+    """Incrementally derives edges as tasks arrive in program order."""
+
+    def __init__(self):
+        self._history: dict[int, _BufferHistory] = {}
+
+    def _hist(self, buffer: Buffer) -> _BufferHistory:
+        return self._history.setdefault(buffer.buffer_id, _BufferHistory())
+
+    def edges_for(self, task: Task) -> list[tuple[Task, Task]]:
+        """Edges required before ``task`` may run; updates the history.
+
+        Returns ``(predecessor, task)`` pairs, deduplicated, in a
+        deterministic order.
+        """
+        preds: dict[int, Task] = {}
+        for dep in task.deps:
+            hist = self._hist(dep.buffer)
+            if dep.type.reads and hist.last_writer is not None:
+                preds.setdefault(hist.last_writer.task_id, hist.last_writer)
+            if dep.type.writes:
+                if hist.last_writer is not None:
+                    preds.setdefault(hist.last_writer.task_id, hist.last_writer)
+                for reader in hist.readers_since_write:
+                    preds.setdefault(reader.task_id, reader)
+
+        # Second pass: update history after all conflicts are collected,
+        # so a task with both in and out on the same buffer doesn't see
+        # itself as a predecessor.
+        for dep in task.deps:
+            hist = self._hist(dep.buffer)
+            if dep.type.writes:
+                hist.last_writer = task
+                hist.readers_since_write = []
+            elif dep.type.reads:
+                hist.readers_since_write.append(task)
+
+        preds.pop(task.task_id, None)
+        return [
+            (pred, task) for _tid, pred in sorted(preds.items())
+        ]
+
+    def last_writer(self, buffer: Buffer) -> Task | None:
+        """The most recent task writing ``buffer`` (or None)."""
+        hist = self._history.get(buffer.buffer_id)
+        return hist.last_writer if hist else None

@@ -1,0 +1,98 @@
+"""The task dependency graph consumed by schedulers and runtimes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.omp.task import Task
+
+
+class TaskGraph:
+    """A DAG of :class:`Task` nodes with dependence edges.
+
+    Thin, typed wrapper over :class:`networkx.DiGraph`; nodes are task
+    ids (so the graph hashes cheaply) with the Task attached as a node
+    attribute.
+    """
+
+    def __init__(self):
+        self._g = nx.DiGraph()
+        self._tasks: dict[int, Task] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_task(self, task: Task) -> None:
+        if task.task_id in self._tasks:
+            raise ValueError(f"duplicate task id {task.task_id}")
+        self._tasks[task.task_id] = task
+        self._g.add_node(task.task_id)
+
+    def add_edge(self, pred: Task, succ: Task) -> None:
+        if pred.task_id not in self._tasks or succ.task_id not in self._tasks:
+            raise ValueError("both endpoints must be added before the edge")
+        if pred.task_id == succ.task_id:
+            raise ValueError("self-dependence is not allowed")
+        self._g.add_edge(pred.task_id, succ.task_id)
+
+    # -- inspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task: Task) -> bool:
+        return task.task_id in self._tasks
+
+    @property
+    def num_edges(self) -> int:
+        return self._g.number_of_edges()
+
+    def task(self, task_id: int) -> Task:
+        return self._tasks[task_id]
+
+    def tasks(self) -> Iterator[Task]:
+        """Tasks in insertion (program) order."""
+        return iter(self._tasks.values())
+
+    def predecessors(self, task: Task) -> list[Task]:
+        return [self._tasks[t] for t in sorted(self._g.predecessors(task.task_id))]
+
+    def successors(self, task: Task) -> list[Task]:
+        return [self._tasks[t] for t in sorted(self._g.successors(task.task_id))]
+
+    def in_degree(self, task: Task) -> int:
+        return self._g.in_degree(task.task_id)
+
+    def roots(self) -> list[Task]:
+        return [t for t in self.tasks() if self.in_degree(t) == 0]
+
+    def validate(self) -> None:
+        """Raise if the graph has a cycle (dependences must form a DAG)."""
+        if not nx.is_directed_acyclic_graph(self._g):
+            cycle = nx.find_cycle(self._g)
+            raise ValueError(f"task graph has a cycle: {cycle}")
+
+    def topological_order(self) -> list[Task]:
+        """Deterministic topological order (ties broken by task id)."""
+        order = nx.lexicographical_topological_sort(self._g)
+        return [self._tasks[tid] for tid in order]
+
+    def critical_path_cost(self) -> float:
+        """Length of the longest compute-cost path (zero-cost comms)."""
+        best: dict[int, float] = {}
+        for task in self.topological_order():
+            incoming = [
+                best[p.task_id] for p in self.predecessors(task)
+            ] or [0.0]
+            best[task.task_id] = max(incoming) + task.cost
+        return max(best.values()) if best else 0.0
+
+    def total_cost(self) -> float:
+        return sum(t.cost for t in self.tasks())
+
+    def edges(self) -> Iterable[tuple[Task, Task]]:
+        for u, v in self._g.edges():
+            yield self._tasks[u], self._tasks[v]
+
+    def nx_graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._g

@@ -1,0 +1,47 @@
+"""Distributed runtimes that execute Task Bench (§6).
+
+Four runtimes, all built on the same simulated cluster substrate so the
+comparison isolates their *mechanics*, exactly like the paper's
+evaluation isolates runtime design on shared hardware:
+
+* :class:`~repro.runtimes.ompc_adapter.OmpcRuntimeAdapter` — the full
+  OMPC stack (event system, data manager, HEFT, head-node dispatch);
+* :class:`~repro.runtimes.mpi_sync.MpiSyncRuntime` — the hand-written
+  bulk-synchronous MPI implementation (the paper's best baseline);
+* :class:`~repro.runtimes.starpu.StarPULikeRuntime` — distributed
+  owner-computes dataflow with per-task scheduling overhead (StarPU-MPI
+  style);
+* :class:`~repro.runtimes.charmpp.CharmLikeRuntime` — message-driven
+  chares with pack/unpack copies on inter-node messages (Charm++
+  style).
+"""
+
+from repro.runtimes.base import TaskBenchRuntime, TBRunResult
+from repro.runtimes.calibration import CHARM, MPI_SYNC, STARPU, RuntimeCosts
+from repro.runtimes.charmpp import CharmLikeRuntime
+from repro.runtimes.mpi_sync import MpiSyncRuntime
+from repro.runtimes.ompc_adapter import OmpcRuntimeAdapter
+from repro.runtimes.starpu import StarPULikeRuntime
+
+__all__ = [
+    "CHARM",
+    "CharmLikeRuntime",
+    "MPI_SYNC",
+    "MpiSyncRuntime",
+    "OmpcRuntimeAdapter",
+    "RuntimeCosts",
+    "STARPU",
+    "StarPULikeRuntime",
+    "TBRunResult",
+    "TaskBenchRuntime",
+]
+
+
+def all_runtimes() -> list[TaskBenchRuntime]:
+    """The four runtimes of the paper's comparison, OMPC first."""
+    return [
+        OmpcRuntimeAdapter(),
+        CharmLikeRuntime(),
+        StarPULikeRuntime(),
+        MpiSyncRuntime(),
+    ]

@@ -1,0 +1,61 @@
+"""Common interface and helpers for Task Bench runtimes."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import ClusterSpec
+from repro.taskbench.graph import TaskBenchSpec
+
+
+@dataclass
+class TBRunResult:
+    """Outcome of one Task Bench execution."""
+
+    runtime: str
+    makespan: float
+    network_bytes: float = 0.0
+    network_messages: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+class TaskBenchRuntime(abc.ABC):
+    """A distributed runtime capable of executing a Task Bench spec."""
+
+    #: Display name used in benchmark tables.
+    name: str = "runtime"
+
+    @abc.abstractmethod
+    def run(self, spec: TaskBenchSpec, cluster_spec: ClusterSpec) -> TBRunResult:
+        """Execute ``spec`` on a fresh cluster built from ``cluster_spec``.
+
+        ``cluster_spec.num_nodes`` is the paper's node count: comparator
+        runtimes use every node as a peer; OMPC uses node 0 as the head
+        and the rest as workers.
+        """
+
+
+def block_owner(point: int, width: int, num_nodes: int) -> int:
+    """Owner node of a grid point under contiguous block partitioning.
+
+    The first ``width % num_nodes`` nodes take one extra point, exactly
+    like Task Bench's own block distribution.
+    """
+    if not 0 <= point < width:
+        raise ValueError(f"point {point} out of range [0, {width})")
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    base, extra = divmod(width, num_nodes)
+    if base == 0:
+        # Fewer points than nodes: one point per node, rest idle.
+        return point
+    boundary = (base + 1) * extra
+    if point < boundary:
+        return point // (base + 1)
+    return extra + (point - boundary) // base
+
+
+def points_of(node: int, width: int, num_nodes: int) -> list[int]:
+    """The points owned by ``node`` under block partitioning."""
+    return [p for p in range(width) if block_owner(p, width, num_nodes) == node]

@@ -1,0 +1,81 @@
+"""Calibrated per-runtime software costs.
+
+Every constant that differentiates the comparator runtimes is here,
+with the mechanism it models.  These are *structural* costs — the
+comparison's shape comes from how each runtime schedules and
+communicates, and these constants set the magnitudes.
+
+Mechanisms
+----------
+MPI (Task Bench's hand-tuned implementation)
+    Thin: a small per-message software overhead.  Data moves zero-copy
+    (rendezvous/RDMA on InfiniBand).
+
+StarPU-MPI
+    Data moves zero-copy like MPI, but every task passes through the
+    runtime: submission, dependency tracking, scheduling, and data-
+    handle management, a few hundred microseconds per task
+    (documented StarPU overhead range for distributed task graphs).
+
+Charm++
+    Message-driven execution is pipelined, but every inter-node message
+    is packed/unpacked (PUP framework) through intermediate buffers:
+    one memory copy on each side at memcpy-like bandwidth, plus a
+    per-message envelope/scheduler overhead.  For the multi-hundred-MB
+    messages Task Bench generates at CCR ≤ 1, those copies land on the
+    critical path — which is exactly why the paper sees Charm++
+    "dramatically decreased [performance] when the communication took
+    most of the execution time" (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MICROSECOND
+
+
+@dataclass(frozen=True)
+class RuntimeCosts:
+    """Software costs of one comparator runtime."""
+
+    #: Per-message software overhead (matching, progress engine).
+    per_message_overhead: float = 0.0
+    #: Per-task runtime overhead (submission, scheduling, handles).
+    per_task_overhead: float = 0.0
+    #: Pack/unpack copy bandwidth for inter-node messages; ``None``
+    #: means zero-copy transfers.
+    copy_bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.per_message_overhead < 0 or self.per_task_overhead < 0:
+            raise ValueError("overheads must be >= 0")
+        if self.copy_bandwidth is not None and self.copy_bandwidth <= 0:
+            raise ValueError("copy_bandwidth must be > 0 or None")
+
+    def copy_time(self, nbytes: float) -> float:
+        """One-sided pack (or unpack) time for an inter-node message."""
+        if self.copy_bandwidth is None:
+            return 0.0
+        return nbytes / self.copy_bandwidth
+
+
+#: The hand-written bulk-synchronous MPI implementation.
+MPI_SYNC = RuntimeCosts(per_message_overhead=2.0 * MICROSECOND)
+
+#: StarPU-MPI: zero-copy, but per-task runtime management.
+STARPU = RuntimeCosts(
+    per_message_overhead=5.0 * MICROSECOND,
+    per_task_overhead=400.0 * MICROSECOND,
+)
+
+#: Charm++: per-message envelope plus PUP copies on both sides.
+#: 8 GB/s per copy models a single-threaded pack/unpack of unpinned,
+#: cache-cold buffers (well below the ~12 GB/s hot-memcpy peak of a
+#: Cascade Lake core); two copies per inter-node message put a
+#: wire-time-scale cost on the chare critical path at 100 Gb/s.
+CHARM = RuntimeCosts(
+    per_message_overhead=30.0 * MICROSECOND,
+    per_task_overhead=20.0 * MICROSECOND,
+    copy_bandwidth=8e9,
+)

@@ -1,0 +1,134 @@
+"""Shared dataflow execution engine for the StarPU- and Charm++-like
+runtimes.
+
+Both runtimes execute Task Bench as a distributed dataflow: each grid
+point advances through its timesteps independently, firing as soon as
+its inputs are available (no per-step node barrier, unlike the BSP MPI
+implementation).  Points are block-partitioned; a per-node receiver
+demultiplexes incoming halo messages to availability events that the
+point chains wait on.
+
+What differs between the two runtimes is pure cost structure
+(:mod:`repro.runtimes.calibration`): per-task runtime overhead, per-
+message software overhead, and whether inter-node messages are
+zero-copy or pass through pack/unpack copies on each side.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.mpi.comm import MpiWorld
+from repro.runtimes.base import TaskBenchRuntime, TBRunResult, block_owner, points_of
+from repro.runtimes.calibration import RuntimeCosts
+from repro.sim.core import Event
+from repro.sim.primitives import AllOf
+from repro.taskbench.graph import TaskBenchSpec
+from repro.taskbench.patterns import dependents
+
+
+class DataflowRuntime(TaskBenchRuntime):
+    """Point-chain dataflow execution with pluggable cost structure."""
+
+    name = "dataflow"
+
+    def __init__(self, costs: RuntimeCosts):
+        self.costs = costs
+
+    def run(self, spec: TaskBenchSpec, cluster_spec: ClusterSpec) -> TBRunResult:
+        cluster = Cluster(cluster_spec)
+        sim = cluster.sim
+        mpi = MpiWorld(cluster, overhead=self.costs.per_message_overhead)
+        n = cluster.num_nodes
+        width = spec.width
+        costs = self.costs
+
+        # Per-node availability events for produced outputs:
+        # avail[node][(step, point)] fires when that output is usable
+        # on `node` (locally produced, or received and unpacked).
+        avail: list[dict[tuple[int, int], Event]] = [{} for _ in range(n)]
+
+        def get_avail(node_id: int, key: tuple[int, int]) -> Event:
+            ev = avail[node_id].get(key)
+            if ev is None:
+                ev = sim.event(f"avail{node_id}:{key}")
+                avail[node_id][key] = ev
+            return ev
+
+        def expected_messages(node_id: int) -> int:
+            mine = points_of(node_id, width, n)
+            count = 0
+            for step in range(1, spec.steps):
+                remote = {
+                    q
+                    for p in mine
+                    for q in spec.deps(step, p)
+                    if block_owner(q, width, n) != node_id
+                }
+                count += len(remote)
+            return count
+
+        def receiver(node_id: int):
+            """The node's communication endpoint: demux halo messages."""
+            rank = mpi.world.rank(node_id)
+            remaining = expected_messages(node_id)
+            while remaining > 0:
+                msg = yield from rank.recv()
+                remaining -= 1
+                # Unpack copy (Charm++'s PUP): charged on the receive path.
+                unpack = costs.copy_time(spec.output_bytes)
+                if unpack:
+                    yield sim.timeout(unpack)
+                get_avail(node_id, msg.payload).succeed()
+
+        def chain(node_id: int, point: int):
+            """One grid point advancing through all timesteps."""
+            rank = mpi.world.rank(node_id)
+            node = cluster.node(node_id)
+            for step in range(spec.steps):
+                # Runtime management: submission/scheduling/handles.
+                if costs.per_task_overhead:
+                    yield sim.timeout(costs.per_task_overhead)
+                deps = spec.deps(step, point)
+                if deps:
+                    waits = [get_avail(node_id, (step - 1, q)) for q in deps]
+                    yield AllOf(sim, waits)
+                yield node.cpu.request()
+                try:
+                    yield sim.timeout(node.compute_time(spec.kernel.duration))
+                finally:
+                    node.cpu.release()
+
+                key = (step, point)
+                local_ev = get_avail(node_id, key)
+                if not local_ev.triggered:
+                    local_ev.succeed()
+                if step + 1 >= spec.steps:
+                    continue
+                consumer_ranks = sorted(
+                    {
+                        block_owner(c, width, n)
+                        for c in dependents(spec.pattern, width, step, point)
+                    }
+                    - {node_id}
+                )
+                for dst in consumer_ranks:
+                    # Pack copy occupies the producing chare before send.
+                    pack = costs.copy_time(spec.output_bytes)
+                    if pack:
+                        yield sim.timeout(pack)
+                    rank.isend(dst, key, spec.output_bytes, tag=1)
+
+        for node_id in range(n):
+            if expected_messages(node_id):
+                sim.process(receiver(node_id), name=f"{self.name}-rx{node_id}")
+            for point in points_of(node_id, width, n):
+                sim.process(
+                    chain(node_id, point), name=f"{self.name}-p{point}"
+                )
+        sim.run(check_deadlock=True)
+        return TBRunResult(
+            runtime=self.name,
+            makespan=sim.now,
+            network_bytes=cluster.network.total_bytes,
+            network_messages=cluster.network.total_messages,
+        )

@@ -1,0 +1,51 @@
+"""OMPC as a Task Bench runtime.
+
+Builds the OpenMP program a Task Bench port would annotate
+(:func:`repro.taskbench.bench.build_omp_program`) and runs it through
+the *entire* OMPC stack: HEFT scheduling at the implicit barrier, data
+manager planning, event-system messaging, and the head-node in-flight
+limit.  Node 0 of the cluster spec is the head; the remaining nodes are
+workers — matching the paper's deployment (§3.1, Fig. 1; the overhead
+experiment uses "1 head node and 1 single worker node").
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.runtime import OMPCRuntime
+from repro.core.scheduler import Scheduler
+from repro.runtimes.base import TaskBenchRuntime, TBRunResult
+from repro.taskbench.bench import build_omp_program
+from repro.taskbench.graph import TaskBenchSpec
+
+
+class OmpcRuntimeAdapter(TaskBenchRuntime):
+    """Drive Task Bench through the full OMPC runtime."""
+
+    name = "OMPC"
+
+    def __init__(
+        self,
+        config: OMPCConfig | None = None,
+        scheduler: Scheduler | None = None,
+    ):
+        self.config = config or OMPCConfig()
+        self.scheduler = scheduler
+
+    def run(self, spec: TaskBenchSpec, cluster_spec: ClusterSpec) -> TBRunResult:
+        program = build_omp_program(spec)
+        runtime = OMPCRuntime(cluster_spec, self.config, self.scheduler)
+        res = runtime.run(program)
+        return TBRunResult(
+            runtime=self.name,
+            makespan=res.makespan,
+            network_bytes=res.network_bytes,
+            network_messages=res.network_messages,
+            extras={
+                "startup": res.startup_time,
+                "scheduling": res.scheduling_time,
+                "shutdown": res.shutdown_time,
+                "counters": res.counters,
+            },
+        )

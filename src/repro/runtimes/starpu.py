@@ -1,0 +1,24 @@
+"""StarPU-like runtime: distributed owner-computes dataflow.
+
+StarPU-MPI executes a task graph where each node owns a partition of
+the data; tasks run on the owner of their output data, and the runtime
+automatically issues the isend/irecv pairs implied by the graph,
+overlapping them with computation.  Transfers are zero-copy; the cost
+StarPU adds over raw MPI is per-task runtime management — submission,
+dependency tracking, scheduling (dmda et al.), and data-handle state
+machines.
+"""
+
+from __future__ import annotations
+
+from repro.runtimes.calibration import STARPU, RuntimeCosts
+from repro.runtimes.dataflow import DataflowRuntime
+
+
+class StarPULikeRuntime(DataflowRuntime):
+    """Owner-computes dataflow with StarPU's cost profile."""
+
+    name = "StarPU"
+
+    def __init__(self, costs: RuntimeCosts = STARPU):
+        super().__init__(costs)

@@ -1,0 +1,38 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised by :meth:`Simulator.run` when ``check_deadlock`` is enabled
+    and the event heap drains while processes are still alive.
+
+    A drained heap with live processes means every remaining process is
+    waiting on an event that nothing can ever trigger — in this codebase
+    that is virtually always an MPI message that was never sent or an
+    OMPC event whose completion notification was lost.
+    """
+
+    def __init__(self, waiting: list[str]):
+        self.waiting = list(waiting)
+        detail = ", ".join(waiting[:8])
+        if len(waiting) > 8:
+            detail += f", … ({len(waiting)} total)"
+        super().__init__(f"simulation deadlocked; live processes: {detail}")
+
+
+class Interrupt(Exception):
+    """Thrown *inside* a process generator by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue (e.g. a worker node
+    observing a simulated node failure) or let it propagate, which kills
+    the process with this exception as its outcome.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause

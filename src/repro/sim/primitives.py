@@ -1,0 +1,58 @@
+"""Composite waiting primitives: timeouts and AND/OR conditions."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.core import Event, Simulator
+
+
+def Timeout(sim: Simulator, delay: float, value: Any = None) -> Event:
+    """Functional alias for :meth:`Simulator.timeout`."""
+    return sim.timeout(delay, value)
+
+
+class Condition(Event):
+    """An event that fires when a predicate over child events is met.
+
+    The condition's value is a dict mapping each *triggered* child event
+    to its value, in trigger order.  If any child fails before the
+    condition is met, the condition fails with the child's exception.
+    """
+
+    __slots__ = ("_events", "_need", "_count", "_results")
+
+    def __init__(self, sim: Simulator, events: list[Event], need: int, name: str = ""):
+        super().__init__(sim, name or f"condition({need}/{len(events)})")
+        if need < 0 or need > len(events):
+            raise ValueError(f"need={need} out of range for {len(events)} events")
+        self._events = list(events)
+        self._need = need
+        self._count = 0
+        self._results: dict[Event, Any] = {}
+        if need == 0:
+            self.succeed(self._results)
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._results[ev] = ev.value
+        self._count += 1
+        if self._count >= self._need:
+            self.succeed(dict(self._results))
+
+
+def AllOf(sim: Simulator, events: list[Event]) -> Condition:
+    """Fires when *all* of ``events`` have fired."""
+    return Condition(sim, events, need=len(events), name="all_of")
+
+
+def AnyOf(sim: Simulator, events: list[Event]) -> Condition:
+    """Fires when *any one* of ``events`` has fired."""
+    return Condition(sim, events, need=min(1, len(events)), name="any_of")

@@ -1,0 +1,30 @@
+"""Task Bench: the parameterized task-parallelism benchmark (§6.1, [31]).
+
+Task Bench models a computation as a 2-D grid — ``width`` task *points*
+per timestep over ``steps`` timesteps — where each task runs a kernel of
+configurable duration and depends on a pattern-defined set of points
+from the previous timestep (Fig. 4).  The Computation-to-Communication
+Ratio (CCR) controls how many bytes each task publishes to its
+dependents.
+
+This package defines the benchmark itself; the runtimes that execute it
+(OMPC, Charm++-like, StarPU-like, synchronous MPI) live in
+:mod:`repro.runtimes`.
+"""
+
+from repro.taskbench.bench import build_omp_program
+from repro.taskbench.graph import TaskBenchSpec
+from repro.taskbench.kernel import KernelSpec
+from repro.taskbench.metg import MetgResult, find_metg
+from repro.taskbench.patterns import Pattern, dependencies, dependents
+
+__all__ = [
+    "KernelSpec",
+    "MetgResult",
+    "Pattern",
+    "TaskBenchSpec",
+    "build_omp_program",
+    "dependencies",
+    "dependents",
+    "find_metg",
+]

@@ -1,0 +1,57 @@
+"""Build an OpenMP program from a Task Bench spec.
+
+This is what an OMPC port of Task Bench looks like.  Patterns with
+cross-step reads must be double-buffered: with a single buffer per
+point, OpenMP's sequential-program-order dependence semantics would
+make a task read its *left neighbor's current-step* output instead of
+the previous step's (the depend clause matches the last writer in
+program order).  So each point owns two buffer generations; the task at
+``(step, point)`` reads the parity-``(step-1)`` buffers of its
+dependence points and writes its own parity-``step`` buffer.  The
+clauses then induce exactly the RAW edges of the pattern plus the WAR
+edges of generation recycling — the same graph the C port hands the
+real OMPC runtime.
+
+Patterns with no dependences at all (trivial) need no read buffers; the
+port uses one output buffer per point, whose write-after-write chain
+serializes each point's timesteps just like the sequential per-point
+loop of the other runtimes' implementations.
+"""
+
+from __future__ import annotations
+
+from repro.omp.api import OmpProgram
+from repro.omp.task import Buffer, Dep, DepType
+from repro.taskbench.graph import TaskBenchSpec
+from repro.taskbench.patterns import average_in_degree
+
+
+def build_omp_program(spec: TaskBenchSpec) -> OmpProgram:
+    """The OmpProgram equivalent of one Task Bench run."""
+    prog = OmpProgram(f"taskbench-{spec.pattern.value}")
+
+    has_reads = average_in_degree(spec.pattern, spec.width, spec.steps) > 0
+    generations = 2 if has_reads else 1
+    buffers: list[list[Buffer]] = [
+        [
+            prog.buffer(spec.output_bytes, name=f"p{point}g{parity}")
+            for parity in range(generations)
+        ]
+        for point in range(spec.width)
+    ]
+
+    for step, point in spec.tasks():
+        deps = [
+            Dep(buffers[q][(step - 1) % generations], DepType.IN)
+            for q in spec.deps(step, point)
+        ]
+        deps.append(Dep(buffers[point][step % generations], DepType.OUT))
+        prog.target(
+            depend=deps,
+            cost=spec.kernel.duration,
+            name=f"t{step}p{point}",
+            step=step,
+            point=point,
+            affinity=point,  # locality hint: keep each point's chain home
+        )
+    return prog

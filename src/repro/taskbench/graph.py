@@ -1,0 +1,96 @@
+"""The Task Bench problem specification: grid, pattern, kernel, CCR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.taskbench.kernel import KernelSpec
+from repro.taskbench.patterns import Pattern, average_in_degree, dependencies
+
+
+@dataclass(frozen=True)
+class TaskBenchSpec:
+    """One Task Bench configuration.
+
+    ``output_bytes`` is the size of the buffer each task publishes to
+    its dependents — the quantity Task Bench (and OMPC Bench) varies to
+    hit a target CCR.  Use :meth:`with_ccr` to derive it from a desired
+    Computation-to-Communication Ratio.
+    """
+
+    width: int
+    steps: int
+    pattern: Pattern
+    kernel: KernelSpec
+    output_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.output_bytes < 0:
+            raise ValueError("output_bytes must be >= 0")
+        # Fail fast on invalid pattern/width combinations.
+        dependencies(self.pattern, self.width, 0, 0)
+
+    @classmethod
+    def with_ccr(
+        cls,
+        width: int,
+        steps: int,
+        pattern: Pattern,
+        kernel: KernelSpec,
+        ccr: float,
+        bandwidth: float,
+    ) -> "TaskBenchSpec":
+        """Derive ``output_bytes`` from a target CCR.
+
+        CCR is the ratio of per-task computation cost to per-task
+        communication cost (§6.2 footnote).  With mean in-degree ``d``
+        and per-dependence payload ``B``, a task receives ``d × B``
+        bytes, costing ``d × B / bandwidth`` seconds, so::
+
+            B = duration / (ccr × d) × bandwidth
+
+        Patterns without dependences get ``output_bytes = 0``.
+        """
+        if ccr <= 0:
+            raise ValueError("ccr must be > 0")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be > 0")
+        d = average_in_degree(pattern, width, steps)
+        nbytes = 0.0 if d == 0 else kernel.duration / (ccr * d) * bandwidth
+        return cls(width, steps, pattern, kernel, nbytes)
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def total_tasks(self) -> int:
+        return self.width * self.steps
+
+    @property
+    def total_edges(self) -> int:
+        return sum(
+            len(self.deps(step, point))
+            for step in range(self.steps)
+            for point in range(self.width)
+        )
+
+    def deps(self, step: int, point: int) -> tuple[int, ...]:
+        """Producer points at ``step - 1`` for the task at (step, point)."""
+        return dependencies(self.pattern, self.width, step, point)
+
+    def tasks(self) -> Iterator[tuple[int, int]]:
+        """All (step, point) pairs in timestep-major order."""
+        for step in range(self.steps):
+            for point in range(self.width):
+                yield step, point
+
+    def describe(self) -> str:
+        return (
+            f"{self.pattern.value} {self.width}x{self.steps}, "
+            f"{self.kernel.iterations} iters/task "
+            f"({self.kernel.duration * 1e3:.1f}ms), "
+            f"{self.output_bytes / 1e6:.1f}MB/dep"
+        )

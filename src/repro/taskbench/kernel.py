@@ -1,0 +1,51 @@
+"""The Task Bench compute kernel model.
+
+Task Bench kernels spin a busy loop for a configurable number of
+iterations.  The paper's calibration: 10M iterations ≈ 50 ms and 100M
+iterations ≈ 500 ms (§6.2), i.e. 5 ns per iteration, which is the
+default here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Seconds per busy-loop iteration on the paper's Cascade Lake nodes.
+SECONDS_PER_ITERATION = 5e-9
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A busy-loop kernel of ``iterations`` steps."""
+
+    iterations: int
+    seconds_per_iteration: float = SECONDS_PER_ITERATION
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        if self.seconds_per_iteration <= 0:
+            raise ValueError("seconds_per_iteration must be > 0")
+
+    @property
+    def duration(self) -> float:
+        """Nominal task duration in seconds on a speed-1.0 node."""
+        return self.iterations * self.seconds_per_iteration
+
+    @classmethod
+    def from_duration(cls, seconds: float) -> "KernelSpec":
+        """The kernel whose busy loop lasts ``seconds``."""
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        return cls(iterations=round(seconds / SECONDS_PER_ITERATION))
+
+    # Named calibration points used throughout the paper's evaluation.
+    @classmethod
+    def paper_50ms(cls) -> "KernelSpec":
+        """Fig. 5: 10M iterations ≈ 50 ms per task."""
+        return cls(iterations=10_000_000)
+
+    @classmethod
+    def paper_500ms(cls) -> "KernelSpec":
+        """Fig. 6: 100M iterations ≈ 500 ms per task."""
+        return cls(iterations=100_000_000)

@@ -1,0 +1,111 @@
+"""METG: Minimum Effective Task Granularity (Task Bench [31]).
+
+Task Bench's headline metric: the smallest task duration at which a
+system still achieves at least 50% efficiency.  Smaller METG means the
+runtime tolerates finer-grained parallelism.  The OMPC paper's Fig. 7a
+is a cousin of this analysis (overhead fraction vs task size); METG
+condenses it to one number per (runtime, pattern, nodes).
+
+Efficiency here is measured against the dependence-limited ideal: a
+``width × steps`` grid whose chains are spread over the workers cannot
+finish faster than ``steps × duration`` (plus nothing), so
+
+    efficiency(d) = steps * d / makespan(d)
+
+METG(50%) is found by bisection on the task duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.machine import ClusterSpec
+from repro.taskbench.graph import TaskBenchSpec
+from repro.taskbench.kernel import KernelSpec
+from repro.taskbench.patterns import Pattern
+
+if TYPE_CHECKING:  # avoid the runtimes<->taskbench import cycle
+    from repro.runtimes.base import TaskBenchRuntime
+
+
+@dataclass(frozen=True)
+class MetgResult:
+    """Outcome of one METG search."""
+
+    runtime: str
+    pattern: Pattern
+    nodes: int
+    metg_seconds: float
+    target_efficiency: float
+    evaluations: int
+
+
+def efficiency(
+    runtime: "TaskBenchRuntime",
+    pattern: Pattern,
+    nodes: int,
+    duration: float,
+    width: int,
+    steps: int,
+    ccr: float,
+    bandwidth: float,
+) -> float:
+    """Dependence-limited efficiency at one task duration."""
+    if duration <= 0:
+        raise ValueError("duration must be > 0")
+    spec = TaskBenchSpec.with_ccr(
+        width, steps, pattern, KernelSpec.from_duration(duration), ccr, bandwidth
+    )
+    result = runtime.run(spec, ClusterSpec(num_nodes=nodes))
+    ideal = steps * duration
+    return min(1.0, ideal / result.makespan) if result.makespan > 0 else 1.0
+
+
+def find_metg(
+    runtime: "TaskBenchRuntime",
+    pattern: Pattern,
+    nodes: int,
+    width: int | None = None,
+    steps: int = 8,
+    ccr: float = 4.0,
+    bandwidth: float = 12.5e9,
+    target: float = 0.5,
+    lo: float = 1e-5,
+    hi: float = 10.0,
+    tolerance: float = 0.1,
+) -> MetgResult:
+    """Bisect for the smallest duration with efficiency >= ``target``.
+
+    ``tolerance`` is relative (0.1 = the bracket shrinks to within 10%).
+    If even ``hi`` misses the target the search raises — the
+    configuration has a structural (not granularity) bottleneck.
+    """
+    if not 0 < target <= 1:
+        raise ValueError("target must be in (0, 1]")
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    width = width if width is not None else 2 * nodes
+
+    evaluations = 0
+
+    def eff(d: float) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return efficiency(runtime, pattern, nodes, d, width, steps, ccr, bandwidth)
+
+    if eff(hi) < target:
+        raise ValueError(
+            f"{runtime.name} never reaches {target:.0%} efficiency on "
+            f"{pattern.value} at {nodes} nodes, even with {hi}s tasks"
+        )
+    if eff(lo) >= target:
+        return MetgResult(runtime.name, pattern, nodes, lo, target, evaluations)
+
+    while hi / lo > 1 + tolerance:
+        mid = (lo * hi) ** 0.5  # geometric midpoint: durations span decades
+        if eff(mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return MetgResult(runtime.name, pattern, nodes, hi, target, evaluations)

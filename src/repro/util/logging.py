@@ -1,0 +1,39 @@
+"""Minimal structured logging for simulation runs.
+
+A :class:`SimLogger` prefixes records with simulated time so traces read
+like a cluster log.  Logging is off by default (benchmark runs generate
+millions of events); enable it per-component for debugging.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.sim.core import Simulator
+
+
+class SimLogger:
+    """Time-stamped logger bound to a simulator clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        component: str,
+        enabled: bool = False,
+        stream: TextIO | None = None,
+    ):
+        self.sim = sim
+        self.component = component
+        self.enabled = enabled
+        self.stream = stream or sys.stderr
+
+    def log(self, message: str) -> None:
+        if self.enabled:
+            print(f"[{self.sim.now * 1e3:12.4f}ms] {self.component}: {message}",
+                  file=self.stream)
+
+    def child(self, suffix: str) -> "SimLogger":
+        return SimLogger(
+            self.sim, f"{self.component}.{suffix}", self.enabled, self.stream
+        )

@@ -1,0 +1,51 @@
+"""Unit constants and formatters.
+
+All simulation times are seconds, sizes are bytes, bandwidths are
+bytes/second.  These constants keep calibration code legible.
+"""
+
+from __future__ import annotations
+
+# -- sizes (decimal and binary) ------------------------------------------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+# -- times ------------------------------------------------------------------
+NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def Gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return value * 1e9 / 8.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration with an appropriate unit."""
+    s = float(seconds)
+    if s == 0.0:
+        return "0s"
+    if abs(s) < 1e-6:
+        return f"{s * 1e9:.1f}ns"
+    if abs(s) < 1e-3:
+        return f"{s * 1e6:.1f}us"
+    if abs(s) < 1.0:
+        return f"{s * 1e3:.2f}ms"
+    if abs(s) < 120.0:
+        return f"{s:.3f}s"
+    return f"{s / 60.0:.2f}min"

@@ -1,0 +1,82 @@
+"""Tests for the synthetic velocity models."""
+
+import numpy as np
+import pytest
+
+from repro.apps.awave import VelocityModel, marmousi_like, sigsbee_like
+
+
+class TestVelocityModel:
+    def test_properties(self):
+        vp = np.full((10, 20), 1500.0)
+        m = VelocityModel("m", vp, dx=10.0)
+        assert m.nz == 10 and m.nx == 20
+        assert m.vmin == m.vmax == 1500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VelocityModel("m", np.ones(10), dx=10.0)
+        with pytest.raises(ValueError):
+            VelocityModel("m", np.ones((4, 4)), dx=0.0)
+        with pytest.raises(ValueError):
+            VelocityModel("m", np.zeros((4, 4)), dx=10.0)
+
+    def test_smoothed_reduces_contrast(self):
+        m = sigsbee_like(nx=80, nz=60)
+        s = m.smoothed(8)
+        assert s.vp.shape == m.vp.shape
+        # Smoothing must shrink the max spatial gradient substantially.
+        def max_grad(v):
+            return max(
+                np.abs(np.diff(v, axis=0)).max(),
+                np.abs(np.diff(v, axis=1)).max(),
+            )
+        assert max_grad(s.vp) < 0.5 * max_grad(m.vp)
+
+    def test_smoothed_zero_is_identity(self):
+        m = sigsbee_like(nx=40, nz=30)
+        np.testing.assert_array_equal(m.smoothed(0).vp, m.vp)
+
+
+class TestSigsbeeLike:
+    def test_has_salt_body(self):
+        m = sigsbee_like(nx=120, nz=80)
+        assert (m.vp == 4480.0).sum() > 0.02 * m.vp.size
+
+    def test_water_layer_on_top(self):
+        m = sigsbee_like(nx=120, nz=80)
+        assert np.allclose(m.vp[0, :], 1492.0)
+
+    def test_velocity_range_physical(self):
+        m = sigsbee_like()
+        assert 1400 < m.vmin < 1600
+        assert m.vmax == 4480.0
+
+    def test_deterministic_per_seed(self):
+        a, b = sigsbee_like(seed=3), sigsbee_like(seed=3)
+        np.testing.assert_array_equal(a.vp, b.vp)
+        c = sigsbee_like(seed=4)
+        assert not np.array_equal(a.vp, c.vp)
+
+
+class TestMarmousiLike:
+    def test_strong_lateral_variation(self):
+        m = marmousi_like(nx=160, nz=100)
+        # Marmousi's signature: velocity varies along x at fixed depth.
+        mid = m.vp[m.nz // 2, :]
+        assert mid.max() - mid.min() > 300.0
+
+    def test_velocity_increases_with_depth_on_average(self):
+        m = marmousi_like(nx=160, nz=100)
+        shallow = m.vp[: m.nz // 4].mean()
+        deep = m.vp[3 * m.nz // 4:].mean()
+        assert deep > shallow + 500.0
+
+    def test_layered_structure(self):
+        m = marmousi_like(nx=160, nz=100)
+        # Many distinct velocities (thin layers), not a smooth gradient.
+        assert len(np.unique(m.vp)) < 40
+
+    def test_deterministic_per_seed(self):
+        a, b = marmousi_like(seed=1), marmousi_like(seed=1)
+        np.testing.assert_array_equal(a.vp, b.vp)

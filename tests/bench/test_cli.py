@@ -1,0 +1,56 @@
+"""Tests for the OMPC Bench command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import DEMO_CONFIG, main, report
+from repro.bench.config import ExperimentConfig
+from repro.bench.launcher import Launcher
+
+
+class TestCli:
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "OMPC Bench" in capsys.readouterr().out
+
+    def test_config_file_runs(self, tmp_path, capsys):
+        cfg = tmp_path / "exp.yaml"
+        cfg.write_text(
+            """
+name: cli-test
+runtimes: [mpi]
+patterns: [trivial]
+nodes: [2]
+width: 2
+steps: 2
+iterations: 1000
+"""
+        )
+        assert main([str(cfg), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out
+        assert "MPI" in out
+
+    def test_demo_config_parses(self):
+        cfg = ExperimentConfig.from_yaml(DEMO_CONFIG)
+        assert cfg.name == "demo"
+        assert cfg.width_for(4) == 8
+
+    def test_report_shapes(self):
+        cfg = ExperimentConfig(
+            name="r", runtimes=("mpi", "starpu"), patterns=("trivial",),
+            nodes=(2, 3), width=2, steps=2, iterations=1000,
+        )
+        launcher = Launcher()
+        launcher.run(cfg)
+        text = report(launcher, cfg)
+        assert "MPI" in text and "StarPU" in text
+        assert "nodes" in text
+
+    def test_progress_lines_printed(self, tmp_path, capsys):
+        cfg = tmp_path / "exp.yaml"
+        cfg.write_text(
+            "name: verbose\nruntimes: [mpi]\npatterns: [trivial]\n"
+            "nodes: [2]\nwidth: 2\nsteps: 2\niterations: 1000\n"
+        )
+        main([str(cfg)])
+        assert ".." in capsys.readouterr().out

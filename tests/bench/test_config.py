@@ -1,0 +1,117 @@
+"""Tests for the YAML-subset parser and experiment configs."""
+
+import pytest
+
+from repro.bench.config import ExperimentConfig, YamlError, parse_yaml
+
+
+class TestParseYaml:
+    def test_scalars(self):
+        text = """
+a: 1
+b: 2.5
+c: true
+d: no
+e: hello
+f: "quoted # not comment"
+g: null
+"""
+        assert parse_yaml(text) == {
+            "a": 1, "b": 2.5, "c": True, "d": False,
+            "e": "hello", "f": "quoted # not comment", "g": None,
+        }
+
+    def test_inline_list(self):
+        assert parse_yaml("xs: [1, 2, 3]") == {"xs": [1, 2, 3]}
+        assert parse_yaml("xs: []") == {"xs": []}
+        assert parse_yaml("xs: [a, 1, 2.0]") == {"xs": ["a", 1, 2.0]}
+
+    def test_block_list(self):
+        text = """
+items:
+  - 1
+  - two
+  - 3.0
+"""
+        assert parse_yaml(text) == {"items": [1, "two", 3.0]}
+
+    def test_nested_mapping(self):
+        text = """
+outer:
+  inner:
+    x: 1
+  y: 2
+z: 3
+"""
+        assert parse_yaml(text) == {
+            "outer": {"inner": {"x": 1}, "y": 2}, "z": 3,
+        }
+
+    def test_list_of_mappings(self):
+        text = """
+jobs:
+  - name: a
+    nodes: 2
+  - name: b
+    nodes: 4
+"""
+        assert parse_yaml(text) == {
+            "jobs": [{"name": "a", "nodes": 2}, {"name": "b", "nodes": 4}],
+        }
+
+    def test_comments_stripped(self):
+        text = """
+# leading comment
+a: 1  # trailing
+"""
+        assert parse_yaml(text) == {"a": 1}
+
+    def test_errors(self):
+        with pytest.raises(YamlError):
+            parse_yaml(" a: 1")  # odd indentation
+        with pytest.raises(YamlError):
+            parse_yaml("a: 1\na: 2")  # duplicate key
+        with pytest.raises(YamlError):
+            parse_yaml("just a line without colon")
+
+
+class TestExperimentConfig:
+    def test_from_yaml_full(self):
+        text = """
+name: fig5
+runtimes: [ompc, mpi]
+patterns: [stencil_1d, tree]
+nodes: [2, 4, 8]
+width: 2n
+steps: 32
+iterations: 10000000
+ccrs: [1.0]
+repetitions: 3
+"""
+        cfg = ExperimentConfig.from_yaml(text)
+        assert cfg.name == "fig5"
+        assert cfg.runtimes == ("ompc", "mpi")
+        assert cfg.nodes == (2, 4, 8)
+        assert cfg.width_for(8) == 16
+        assert cfg.repetitions == 3
+
+    def test_defaults(self):
+        cfg = ExperimentConfig.from_yaml("name: quick")
+        assert cfg.runtimes == ("ompc", "charmpp", "starpu", "mpi")
+        assert cfg.width_for(10) == 16
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(YamlError, match="unknown config keys"):
+            ExperimentConfig.from_yaml("name: x\nbogus: 1")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(YamlError, match="name"):
+            ExperimentConfig.from_yaml("steps: 4")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", width="3n")
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", repetitions=0)

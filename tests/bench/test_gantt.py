@@ -1,0 +1,69 @@
+"""Tests for the Gantt renderer and utilization computation."""
+
+import pytest
+
+from repro.bench.gantt import render_gantt, utilization
+
+
+class TestRenderGantt:
+    def test_basic_layout(self):
+        intervals = {0: (0.0, 1.0), 1: (1.0, 2.0)}
+        assignment = {0: 1, 1: 2}
+        out = render_gantt(intervals, assignment, width=42, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2 tasks" in lines[1]
+        assert lines[2].startswith("node   1 |")
+        assert lines[3].startswith("node   2 |")
+        # Node 1's bar occupies the first half, node 2's the second.
+        bar1 = lines[2].split("|")[1]
+        bar2 = lines[3].split("|")[1]
+        assert bar1[:10].strip() != ""
+        assert bar1[30:].strip() == ""
+        assert bar2[:10].strip() == ""
+        assert bar2[25:35].strip() != ""
+
+    def test_empty(self):
+        assert "(no tasks)" in render_gantt({}, {})
+
+    def test_tiny_task_still_visible(self):
+        out = render_gantt({0: (0.0, 1e-9), 1: (0.0, 1.0)}, {0: 1, 1: 1})
+        bar = out.splitlines()[1]
+        assert "1" in out
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_gantt({0: (0, 1)}, {0: 1}, width=5)
+
+    def test_real_run_renders(self):
+        from repro.cluster import ClusterSpec
+        from repro.core import OMPCRuntime
+        from repro.taskbench import KernelSpec, Pattern, TaskBenchSpec, build_omp_program
+
+        spec = TaskBenchSpec(4, 4, Pattern.STENCIL_1D, KernelSpec.from_duration(0.01), 1000.0)
+        res = OMPCRuntime(ClusterSpec(num_nodes=3)).run(build_omp_program(spec))
+        out = render_gantt(res.task_intervals, res.schedule.assignment)
+        assert "16 tasks" in out
+        assert out.count("node") >= 1
+
+
+class TestUtilization:
+    def test_full_busy(self):
+        u = utilization({0: (0.0, 1.0)}, {0: 1}, makespan=1.0)
+        assert u == {1: pytest.approx(1.0)}
+
+    def test_overlaps_merged(self):
+        u = utilization(
+            {0: (0.0, 1.0), 1: (0.5, 1.5)}, {0: 1, 1: 1}, makespan=2.0
+        )
+        assert u[1] == pytest.approx(0.75)
+
+    def test_gaps_counted_idle(self):
+        u = utilization(
+            {0: (0.0, 1.0), 1: (3.0, 4.0)}, {0: 1, 1: 1}, makespan=4.0
+        )
+        assert u[1] == pytest.approx(0.5)
+
+    def test_invalid_makespan(self):
+        with pytest.raises(ValueError):
+            utilization({0: (0, 1)}, {0: 1}, makespan=0.0)

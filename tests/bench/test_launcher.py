@@ -1,0 +1,68 @@
+"""Tests for the experiment launcher."""
+
+import pytest
+
+from repro.bench import ExperimentConfig, Launcher
+
+
+class TestLauncher:
+    def test_runs_grid_and_records(self):
+        cfg = ExperimentConfig(
+            name="tiny",
+            runtimes=("mpi", "starpu"),
+            patterns=("stencil_1d",),
+            nodes=(2, 4),
+            width=4,
+            steps=3,
+            iterations=100_000,  # 0.5 ms tasks
+            ccrs=(1.0,),
+        )
+        launcher = Launcher()
+        records = launcher.run(cfg)
+        assert len(records) == 4  # 2 runtimes x 2 node counts
+        assert {r.runtime for r in records} == {"MPI", "StarPU"}
+        assert all(r.summary.mean > 0 for r in records)
+        assert all(r.width == 4 for r in records)
+
+    def test_width_2n(self):
+        cfg = ExperimentConfig(
+            name="w2n", runtimes=("mpi",), patterns=("trivial",),
+            nodes=(3,), width="2n", steps=2, iterations=1000,
+        )
+        records = Launcher().run(cfg)
+        assert records[0].width == 6
+
+    def test_unknown_runtime_rejected(self):
+        cfg = ExperimentConfig(name="x", runtimes=("not-a-runtime",))
+        with pytest.raises(ValueError, match="unknown runtime"):
+            Launcher().run(cfg)
+
+    def test_select_filters(self):
+        cfg = ExperimentConfig(
+            name="sel", runtimes=("mpi",), patterns=("trivial", "no_comm"),
+            nodes=(2,), width=4, steps=2, iterations=1000,
+        )
+        launcher = Launcher()
+        launcher.run(cfg)
+        assert len(launcher.select(pattern="trivial")) == 1
+        assert len(launcher.select(runtime="MPI")) == 2
+        assert launcher.select(pattern="fft") == []
+
+    def test_repetitions_counted(self):
+        cfg = ExperimentConfig(
+            name="rep", runtimes=("mpi",), patterns=("trivial",),
+            nodes=(2,), width=2, steps=2, iterations=1000, repetitions=3,
+        )
+        records = Launcher().run(cfg)
+        assert records[0].summary.count == 3
+        # Deterministic simulation: zero dispersion across repetitions.
+        assert records[0].summary.std == 0.0
+
+    def test_progress_callback(self):
+        seen = []
+        cfg = ExperimentConfig(
+            name="prog", runtimes=("mpi",), patterns=("trivial",),
+            nodes=(2,), width=2, steps=2, iterations=1000,
+        )
+        Launcher(progress=seen.append).run(cfg)
+        assert len(seen) == 1 and "prog" in seen[0]

@@ -1,0 +1,81 @@
+"""Tests for statistics and report formatting."""
+
+import pytest
+
+from repro.bench.report import format_series, format_table
+from repro.bench.stats import Summary, geometric_mean, speedup, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert (s.minimum, s.maximum) == (1.0, 3.0)
+
+    def test_single_value_zero_std(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.relative_std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_relative_std(self):
+        s = summarize([9.0, 11.0])
+        assert s.relative_std == pytest.approx(s.std / 10.0)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        base = summarize([10.0])
+        fast = summarize([4.0])
+        assert speedup(base, fast) == pytest.approx(2.5)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(summarize([1.0]), Summary(1, 0.0, 0.0, 0.0, 0.0))
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(
+            ["name", "time"], [["a", 1.23456], ["long-name", 2.0]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in out
+        assert lines[1].startswith("name")
+        # Columns aligned: the separator row matches header width.
+        assert len(lines[2]) == len(lines[1])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_series_rows(self):
+        out = format_series(
+            "nodes", [2, 4], {"OMPC": [1.0, 2.0], "MPI": [0.5, 1.0]},
+            title="Fig X",
+        )
+        assert "Fig X" in out
+        assert "OMPC" in out and "1.000s" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s": [1.0]})

@@ -1,0 +1,96 @@
+"""Tests for cluster assembly and heterogeneity overrides."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+
+
+class TestClusterSpec:
+    def test_invalid_num_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+
+    def test_override_out_of_range(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=2, node_overrides=((5, NodeSpec()),))
+
+    def test_spec_for_override(self):
+        fast = NodeSpec(cores=1, threads=1, speed=4.0)
+        spec = ClusterSpec(num_nodes=3, node_overrides=((1, fast),))
+        assert spec.spec_for(1).speed == 4.0
+        assert spec.spec_for(0).speed == 1.0
+
+
+class TestCluster:
+    def test_builds_all_nodes(self):
+        cluster = Cluster(ClusterSpec(num_nodes=5))
+        assert cluster.num_nodes == 5
+        assert len(cluster.nodes) == 5
+        assert cluster.network.num_nodes == 5
+
+    def test_head_and_workers(self):
+        cluster = Cluster(ClusterSpec(num_nodes=4))
+        assert cluster.head.node_id == 0
+        assert [w.node_id for w in cluster.workers] == [1, 2, 3]
+
+    def test_shared_simulator(self):
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        assert cluster.nodes[0].sim is cluster.sim
+        assert cluster.network.sim is cluster.sim
+        assert cluster.trace.sim is cluster.sim
+
+    def test_heterogeneous_nodes(self):
+        spec = ClusterSpec(
+            num_nodes=2,
+            node_overrides=((1, NodeSpec(cores=1, threads=1, speed=3.0)),),
+        )
+        cluster = Cluster(spec)
+        assert cluster.node(1).compute_time(3.0) == 1.0
+        assert cluster.node(0).compute_time(3.0) == 3.0
+
+
+class TestTraceRecorder:
+    def test_span_recording(self):
+        cluster = Cluster(ClusterSpec(num_nodes=1))
+        sim, trace = cluster.sim, cluster.trace
+
+        def proc():
+            open_span = trace.begin("runtime", "startup")
+            yield sim.timeout(2.0)
+            trace.end(open_span)
+
+        sim.process(proc())
+        sim.run()
+        spans = list(trace.find("runtime", "startup"))
+        assert len(spans) == 1
+        assert spans[0].duration == 2.0
+        assert trace.total_duration("runtime") == 2.0
+
+    def test_counters(self):
+        cluster = Cluster(ClusterSpec(num_nodes=1))
+        cluster.trace.count("events")
+        cluster.trace.count("events", 2)
+        assert cluster.trace.counters["events"] == 3
+
+    def test_invalid_span_rejected(self):
+        cluster = Cluster(ClusterSpec(num_nodes=1))
+        with pytest.raises(ValueError):
+            cluster.trace.record("x", "y", start=2.0, end=1.0)
+
+    def test_chrome_trace_export(self):
+        import json
+
+        cluster = Cluster(ClusterSpec(num_nodes=1))
+        cluster.trace.record("runtime", "startup", 0.0, 0.012)
+        cluster.trace.record("task", "foo", 0.012, 0.062)
+        events = cluster.trace.to_chrome_trace()
+        # 2 complete events + 2 process-name metadata records.
+        assert len(events) == 4
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"startup", "foo"}
+        startup = next(e for e in spans if e["name"] == "startup")
+        assert startup["ts"] == 0.0
+        assert startup["dur"] == pytest.approx(12_000.0)
+        # Distinct components map to distinct pids.
+        assert len({e["pid"] for e in spans}) == 2
+        json.dumps(events)  # must be serializable

@@ -1,0 +1,71 @@
+"""Tests for the compute-node model."""
+
+import pytest
+
+from repro.cluster import Node, NodeSpec
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestNodeSpec:
+    def test_defaults_match_paper_cluster(self):
+        spec = NodeSpec()
+        # 2x Cascade Lake 6252: 24 cores / 48 threads each.
+        assert spec.cores == 48
+        assert spec.threads == 96
+        assert spec.speed == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"cores": 4, "threads": 2},
+            {"speed": 0.0},
+            {"speed": -1.0},
+            {"memory_bytes": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NodeSpec(**kwargs)
+
+
+class TestNode:
+    def test_compute_time_scales_with_speed(self, sim):
+        fast = Node(sim, 0, NodeSpec(cores=1, threads=1, speed=2.0))
+        slow = Node(sim, 1, NodeSpec(cores=1, threads=1, speed=0.5))
+        assert fast.compute_time(10.0) == 5.0
+        assert slow.compute_time(10.0) == 20.0
+
+    def test_negative_compute_rejected(self, sim):
+        node = Node(sim, 0, NodeSpec())
+        with pytest.raises(ValueError):
+            node.compute_time(-1.0)
+
+    def test_compute_occupies_one_thread(self, sim):
+        node = Node(sim, 0, NodeSpec(cores=1, threads=2))
+        finished = []
+
+        def job(jid):
+            yield from node.compute(1.0)
+            finished.append((jid, sim.now))
+
+        for jid in range(3):
+            sim.process(job(jid))
+        sim.run()
+        # 2 hardware threads: jobs 0 and 1 finish at t=1, job 2 at t=2.
+        assert finished == [(0, 1.0), (1, 1.0), (2, 2.0)]
+
+    def test_core_released_after_compute(self, sim):
+        node = Node(sim, 0, NodeSpec(cores=1, threads=1))
+
+        def job():
+            yield from node.compute(1.0)
+
+        sim.process(job())
+        sim.run()
+        assert node.cpu.in_use == 0

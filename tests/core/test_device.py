@@ -1,0 +1,127 @@
+"""Tests for the device-plugin interface and the cluster plugin."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.device import LoopbackPlugin
+from repro.core.plugin import ClusterPlugin
+from repro.omp.task import Buffer, Task, TaskKind, depend_inout
+from repro.sim import Simulator
+
+
+class TestLoopbackPlugin:
+    def test_full_data_lifecycle(self):
+        sim = Simulator()
+        plugin = LoopbackPlugin(sim, num_devices=2)
+
+        def main():
+            yield from plugin.data_alloc(0, 1)
+            yield from plugin.data_submit(0, 1, "payload", 100)
+            yield from plugin.data_exchange(0, 1, 1, 100)
+            back = yield from plugin.data_retrieve(1, 1, 100)
+            yield from plugin.data_delete(0, 1)
+            return back
+
+        p = sim.process(main())
+        assert sim.run(until=p) == "payload"
+        assert 1 not in plugin.tables[0]
+        assert plugin.tables[1][1] == "payload"
+
+    def test_run_target_region_charges_cost_and_runs_fn(self):
+        sim = Simulator()
+        plugin = LoopbackPlugin(sim)
+        buf = Buffer(8)
+        seen = []
+        task = Task(
+            task_id=3,
+            kind=TaskKind.TARGET,
+            deps=(depend_inout(buf),),
+            cost=1.5,
+            fn=lambda a: seen.append(a),
+        )
+
+        def main():
+            yield from plugin.data_submit(0, buf.buffer_id, 42, 8)
+            yield from plugin.run_target_region(0, task)
+
+        p = sim.process(main())
+        sim.run(until=p)
+        assert sim.now == pytest.approx(1.5)
+        assert seen == [42]
+        assert plugin.executed == [(0, 3)]
+
+    def test_op_latency(self):
+        sim = Simulator()
+        plugin = LoopbackPlugin(sim, op_latency=0.1)
+
+        def main():
+            yield from plugin.data_alloc(0, 1)
+
+        p = sim.process(main())
+        sim.run(until=p)
+        assert sim.now == pytest.approx(0.1)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LoopbackPlugin(sim, num_devices=0)
+        with pytest.raises(ValueError):
+            LoopbackPlugin(sim, op_latency=-1)
+
+
+class TestClusterPlugin:
+    def make(self, n=3):
+        cluster = Cluster(ClusterSpec(num_nodes=n))
+        cfg = OMPCConfig(
+            first_event_interval=0.0,
+            event_origin_overhead=0.0,
+            event_handler_overhead=0.0,
+        )
+        plugin = ClusterPlugin(cluster, cfg)
+        plugin.start()
+        return cluster, plugin
+
+    def test_one_device_per_worker(self):
+        cluster, plugin = self.make(n=5)
+        assert plugin.number_of_devices() == 4
+        assert plugin.node_of(0) == 1
+        assert plugin.device_of(4) == 3
+
+    def test_id_mapping_validation(self):
+        cluster, plugin = self.make()
+        with pytest.raises(ValueError):
+            plugin.node_of(99)
+        with pytest.raises(ValueError):
+            plugin.device_of(0)  # the head node is not a device
+
+    def test_requires_worker(self):
+        with pytest.raises(ValueError):
+            ClusterPlugin(Cluster(ClusterSpec(num_nodes=1)))
+
+    def test_data_path_through_event_system(self):
+        cluster, plugin = self.make()
+
+        def main():
+            yield from plugin.data_submit(0, 7, "x", 100)
+            yield from plugin.data_exchange(0, 1, 7, 100)
+            back = yield from plugin.data_retrieve(1, 7, 100)
+            yield from plugin.shutdown()
+            return back
+
+        p = cluster.sim.process(main())
+        assert cluster.sim.run(until=p) == "x"
+        # Device 0 is node 1, device 1 is node 2.
+        assert plugin.events.memories[1].read(7) == "x"
+        assert plugin.events.memories[2].read(7) == "x"
+
+    def test_run_target_region(self):
+        cluster, plugin = self.make()
+        task = Task(task_id=0, kind=TaskKind.TARGET, cost=1.0)
+
+        def main():
+            yield from plugin.run_target_region(1, task)
+
+        p = cluster.sim.process(main())
+        cluster.sim.run(until=p)
+        assert cluster.sim.now == pytest.approx(1.0, rel=0.01)

@@ -1,0 +1,279 @@
+"""Tests for the distributed event system (Fig. 3 flow)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NetworkSpec
+from repro.core.config import OMPCConfig
+from repro.core.events import EventSystem, EventType, _binomial_tree
+from repro.mpi import MpiWorld
+from repro.omp.task import Buffer, Task, TaskKind, depend_inout
+
+
+def make_system(n=3, **cfg_kwargs):
+    cfg_kwargs.setdefault("first_event_interval", 0.0)
+    cfg_kwargs.setdefault("event_origin_overhead", 0.0)
+    cfg_kwargs.setdefault("event_handler_overhead", 0.0)
+    cluster = Cluster(ClusterSpec(num_nodes=n))
+    mpi = MpiWorld(cluster, overhead=0.0)
+    events = EventSystem(cluster, mpi, OMPCConfig(**cfg_kwargs))
+    events.start()
+    return cluster, events
+
+
+def drive(cluster, gen, name="driver"):
+    proc = cluster.sim.process(gen, name=name)
+    return cluster.sim.run(until=proc)
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        cluster, events = make_system()
+        with pytest.raises(RuntimeError):
+            events.start()
+
+    def test_origin_before_start_rejected(self):
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        events = EventSystem(cluster, MpiWorld(cluster), OMPCConfig())
+
+        def bad():
+            yield from events.alloc(1, 0)
+
+        cluster.sim.process(bad())
+        with pytest.raises(RuntimeError, match="not started"):
+            cluster.sim.run()
+
+    def test_shutdown_terminates_gates_and_handlers(self):
+        cluster, events = make_system()
+
+        def main():
+            yield from events.alloc(1, 0)
+            yield from events.shutdown()
+
+        drive(cluster, main())
+        # After shutdown the heap must drain with no live processes.
+        cluster.sim.run(check_deadlock=True)
+
+
+class TestAllocDelete:
+    def test_alloc_creates_entry_on_worker(self):
+        cluster, events = make_system()
+
+        def main():
+            yield from events.alloc(1, 99)
+            yield from events.alloc(2, 99)
+            yield from events.delete(2, 99)
+
+        drive(cluster, main())
+        assert 99 in events.memories[1]
+        assert 99 not in events.memories[2]
+        assert cluster.trace.counters["ompc.events.alloc"] == 2
+        assert cluster.trace.counters["ompc.events.delete"] == 1
+
+
+class TestSubmitRetrieve:
+    def test_submit_then_retrieve_roundtrip(self):
+        cluster, events = make_system()
+        payload = [1, 2, 3]
+
+        def main():
+            yield from events.submit(1, 5, payload, nbytes=1000)
+            back = yield from events.retrieve(1, 5, nbytes=1000)
+            return back
+
+        assert drive(cluster, main()) is payload
+        assert events.memories[1].read(5) is payload
+
+    def test_submit_charges_transfer_time(self):
+        cluster = Cluster(
+            ClusterSpec(
+                num_nodes=2,
+                network=NetworkSpec(latency=0.0, bandwidth=1e6),
+            )
+        )
+        mpi = MpiWorld(cluster, overhead=0.0)
+        cfg = OMPCConfig(
+            first_event_interval=0.0,
+            event_origin_overhead=0.0,
+            event_handler_overhead=0.0,
+        )
+        events = EventSystem(cluster, mpi, cfg)
+        events.start()
+
+        def main():
+            yield from events.submit(1, 0, None, nbytes=1e6)
+
+        drive(cluster, main())
+        # 1 MB at 1 MB/s dominates; control messages add a little more.
+        assert cluster.sim.now == pytest.approx(1.0, rel=0.01)
+
+
+class TestExchange:
+    def test_data_flows_worker_to_worker(self):
+        cluster, events = make_system(4)
+        payload = object()
+
+        def main():
+            yield from events.submit(1, 7, payload, nbytes=500)
+            yield from events.exchange(1, 3, 7, nbytes=500)
+
+        drive(cluster, main())
+        assert events.memories[3].read(7) is payload
+        # Source copy is untouched by an exchange (coherency is the
+        # data manager's decision, not the event system's).
+        assert events.memories[1].read(7) is payload
+
+    def test_exchange_does_not_stage_on_head(self):
+        cluster, events = make_system(4)
+
+        def main():
+            yield from events.submit(1, 7, "x", nbytes=1000)
+            head_rx_before = cluster.network.nics[0].bytes_received
+            yield from events.exchange(1, 3, 7, nbytes=1000)
+            return head_rx_before
+
+        head_rx_before = drive(cluster, main())
+        # Head receives only the small completion, never the payload.
+        head_rx_after = cluster.network.nics[0].bytes_received
+        assert head_rx_after - head_rx_before < 1000
+
+
+class TestExecute:
+    def test_execute_runs_fn_against_device_memory(self):
+        cluster, events = make_system()
+        buf = Buffer(nbytes=100, name="A")
+        seen = []
+        task = Task(
+            task_id=0,
+            kind=TaskKind.TARGET,
+            deps=(depend_inout(buf),),
+            cost=0.0,
+            fn=lambda a: seen.append(a),
+        )
+
+        def main():
+            yield from events.submit(1, buf.buffer_id, "payload", buf.nbytes)
+            yield from events.execute(1, task)
+
+        drive(cluster, main())
+        assert seen == ["payload"]
+
+    def test_execute_charges_compute_cost(self):
+        cluster, events = make_system()
+        task = Task(task_id=0, kind=TaskKind.TARGET, cost=2.0)
+
+        def main():
+            yield from events.execute(1, task)
+
+        drive(cluster, main())
+        assert cluster.sim.now == pytest.approx(2.0, rel=0.01)
+
+    def test_execute_with_intra_node_threads(self):
+        cluster, events = make_system()
+        task = Task(
+            task_id=0, kind=TaskKind.TARGET, cost=8.0, meta={"omp_threads": 4}
+        )
+
+        def main():
+            yield from events.execute(1, task)
+
+        drive(cluster, main())
+        assert cluster.sim.now == pytest.approx(2.0, rel=0.01)
+
+    def test_missing_buffer_surfaces_as_error(self):
+        from repro.core.memory import DeviceMemoryError
+
+        cluster, events = make_system()
+        buf = Buffer(nbytes=100)
+        task = Task(
+            task_id=0,
+            kind=TaskKind.TARGET,
+            deps=(depend_inout(buf),),
+            fn=lambda a: None,
+        )
+
+        def main():
+            yield from events.execute(1, task)  # no submit first!
+
+        cluster.sim.process(main())
+        with pytest.raises(DeviceMemoryError):
+            cluster.sim.run()
+
+
+class TestBroadcast:
+    def test_all_destinations_receive(self):
+        cluster, events = make_system(6)
+        payload = {"model": 1}
+
+        def main():
+            yield from events.submit(1, 3, payload, nbytes=100)
+            yield from events.broadcast(1, [2, 3, 4, 5], 3, nbytes=100)
+
+        drive(cluster, main())
+        for node in (2, 3, 4, 5):
+            assert events.memories[node].read(3) is payload
+
+    def test_empty_destination_list_is_noop(self):
+        cluster, events = make_system()
+
+        def main():
+            yield from events.broadcast(1, [], 3, nbytes=100)
+
+        drive(cluster, main())
+        assert cluster.trace.counters.get("ompc.bytes_broadcast", 0) == 0
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 16])
+    def test_tree_spans_all_participants(self, n):
+        participants = list(range(10, 10 + n))
+        tree = _binomial_tree(participants)
+        assert set(tree) == set(participants)
+        # Exactly one root; every non-root reachable from it.
+        roots = [p for p, (parent, _c) in tree.items() if parent is None]
+        assert roots == [participants[0]]
+        reached = set()
+        frontier = [participants[0]]
+        while frontier:
+            node = frontier.pop()
+            reached.add(node)
+            frontier.extend(tree[node][1])
+        assert reached == set(participants)
+
+    def test_children_parent_consistency(self):
+        tree = _binomial_tree(list(range(9)))
+        for node, (_parent, children) in tree.items():
+            for child in children:
+                assert tree[child][0] == node
+
+
+class TestTagIsolation:
+    def test_concurrent_events_use_distinct_tags(self):
+        cluster, events = make_system(4)
+
+        def main():
+            procs = [
+                cluster.sim.process(
+                    events.submit(node, node, f"p{node}", nbytes=100)
+                )
+                for node in (1, 2, 3)
+            ]
+            from repro.sim.primitives import AllOf
+
+            yield AllOf(cluster.sim, procs)
+
+        drive(cluster, main())
+        for node in (1, 2, 3):
+            assert events.memories[node].read(node) == f"p{node}"
+        assert events.tags.allocated == 3
+
+    def test_first_event_interval_charged_once(self):
+        cluster, events = make_system(2, first_event_interval=0.0047)
+
+        def main():
+            yield from events.alloc(1, 0)
+            yield from events.alloc(1, 1)
+
+        drive(cluster, main())
+        spans = list(cluster.trace.find("ompc", "first_event_interval"))
+        assert len(spans) == 1
+        assert spans[0].duration == pytest.approx(0.0047)

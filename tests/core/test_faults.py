@@ -1,0 +1,368 @@
+"""Tests for fault tolerance: heartbeats, failure injection, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.datamanager import HOST, DataManager
+from repro.core.events import EventSystem
+from repro.core.faults import (
+    FailureInjector,
+    FaultTolerantRuntime,
+    HeartbeatRing,
+    NodeFailure,
+    RecoveryError,
+)
+from repro.mpi import MpiWorld
+from repro.omp import OmpProgram
+from repro.omp.task import Buffer, Task, TaskKind, depend_in, depend_inout, depend_out
+
+FAST = OMPCConfig(
+    startup_time=0.0, shutdown_time=0.0, first_event_interval=0.0,
+    event_origin_overhead=0.0, event_handler_overhead=0.0,
+    task_creation_overhead=0.0, schedule_unit_cost=0.0,
+)
+
+
+def target(task_id, *deps):
+    return Task(task_id=task_id, kind=TaskKind.TARGET, deps=tuple(deps))
+
+
+class TestNodeFailureValidation:
+    def test_head_cannot_fail(self):
+        with pytest.raises(ValueError):
+            NodeFailure(time=1.0, node=0)
+        with pytest.raises(ValueError):
+            NodeFailure(time=-1.0, node=1)
+
+
+class TestDataManagerFailure:
+    def test_replicated_buffer_survives(self):
+        dm = DataManager()
+        buf = Buffer(100)
+        reader = target(0, depend_in(buf))
+        for m in dm.plan_for_task(reader, 1)[0]:
+            dm.commit_move(m)
+        dm.commit_task_done(reader, 1)
+        lost = dm.on_node_failure(1)
+        assert lost == []
+        assert dm.locations(buf) == {HOST}
+
+    def test_sole_copy_reported_lost(self):
+        dm = DataManager()
+        buf = Buffer(100)
+        writer = target(0, depend_inout(buf))
+        for m in dm.plan_for_task(writer, 2)[0]:
+            dm.commit_move(m)
+        dm.commit_task_done(writer, 2)
+        assert dm.locations(buf) == {2}
+        lost = dm.on_node_failure(2)
+        assert lost == [buf]
+        assert dm.locations(buf) == set()
+
+    def test_latest_redirected_to_survivor(self):
+        dm = DataManager()
+        buf = Buffer(100)
+        dm.commit_enter_data(buf, 3)
+        assert dm.latest(buf) == 3
+        lost = dm.on_node_failure(3)
+        assert lost == []
+        assert dm.latest(buf) == HOST
+
+    def test_host_failure_rejected(self):
+        with pytest.raises(ValueError):
+            DataManager().on_node_failure(HOST)
+
+
+class TestEventSystemFailure:
+    def make(self, n=4):
+        cluster = Cluster(ClusterSpec(num_nodes=n))
+        events = EventSystem(cluster, MpiWorld(cluster), FAST)
+        events.start()
+        return cluster, events
+
+    def test_fail_node_wipes_memory(self):
+        cluster, events = self.make()
+
+        def main():
+            yield from events.submit(2, 7, "payload", 100)
+            events.fail_node(2)
+
+        p = cluster.sim.process(main())
+        cluster.sim.run(until=p)
+        assert events.node_failed(2)
+        assert 7 not in events.memories[2]
+
+    def test_failure_event_fires(self):
+        cluster, events = self.make()
+        fired = []
+        events.failure_event(1).add_callback(lambda ev: fired.append(ev.value))
+
+        def main():
+            yield cluster.sim.timeout(1.0)
+            events.fail_node(1)
+
+        cluster.sim.process(main())
+        cluster.sim.run()
+        assert fired == [1]
+
+    def test_fail_node_idempotent(self):
+        cluster, events = self.make()
+
+        def main():
+            yield cluster.sim.timeout(0.1)
+            events.fail_node(1)
+            events.fail_node(1)
+
+        cluster.sim.process(main())
+        cluster.sim.run()
+        assert cluster.trace.counters["ompc.node_failures"] == 1
+
+    def test_head_failure_rejected(self):
+        cluster, events = self.make()
+        with pytest.raises(ValueError):
+            events.fail_node(0)
+
+    def test_shutdown_skips_failed_nodes(self):
+        cluster, events = self.make()
+
+        def main():
+            yield cluster.sim.timeout(0.1)
+            events.fail_node(2)
+            yield from events.shutdown()
+
+        p = cluster.sim.process(main())
+        cluster.sim.run(until=p)  # must terminate without deadlock
+
+
+class TestHeartbeatRing:
+    def make_ring(self, n=4, **kwargs):
+        cluster = Cluster(ClusterSpec(num_nodes=n))
+        mpi = MpiWorld(cluster)
+        events = EventSystem(cluster, mpi, FAST)
+        events.start()
+        ring = HeartbeatRing(cluster, mpi, events, **kwargs)
+        return cluster, events, ring
+
+    def test_no_false_positives_without_failure(self):
+        cluster, events, ring = self.make_ring()
+        ring.start()
+
+        def stopper():
+            yield cluster.sim.timeout(0.05)
+            ring.stop()
+
+        cluster.sim.process(stopper())
+        cluster.sim.run(until=0.2)
+        assert ring.detections == []
+
+    def test_failure_detected_by_successor(self):
+        cluster, events, ring = self.make_ring()
+        ring.start()
+
+        def fail_later():
+            yield cluster.sim.timeout(0.02)
+            events.fail_node(2)
+            yield cluster.sim.timeout(0.05)
+            ring.stop()
+
+        cluster.sim.process(fail_later())
+        cluster.sim.run(until=0.2)
+        assert len(ring.detections) == 1
+        dead, by, at = ring.detections[0]
+        assert dead == 2
+        assert by == 3  # the ring successor monitors node 2
+        # Detection latency is bounded by the heartbeat timeout window.
+        assert 0.02 < at < 0.02 + 3 * ring.timeout
+
+    def test_on_detect_callback(self):
+        cluster, events, ring = self.make_ring()
+        seen = []
+        ring.on_detect = lambda dead, by: seen.append((dead, by))
+        ring.start()
+
+        def fail_later():
+            yield cluster.sim.timeout(0.01)
+            events.fail_node(1)
+            yield cluster.sim.timeout(0.05)
+            ring.stop()
+
+        cluster.sim.process(fail_later())
+        cluster.sim.run(until=0.2)
+        assert seen == [(1, 2)]
+
+    def test_invalid_intervals(self):
+        cluster = Cluster(ClusterSpec(num_nodes=3))
+        mpi = MpiWorld(cluster)
+        events = EventSystem(cluster, mpi, FAST)
+        with pytest.raises(ValueError):
+            HeartbeatRing(cluster, mpi, events, interval=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatRing(cluster, mpi, events, interval=1.0, timeout=0.5)
+
+
+def shots_program(num_shots=4, cost=0.05):
+    """Awave-shaped program: read-only model, independent shot outputs."""
+    prog = OmpProgram("shots")
+    model = np.arange(16.0)
+    model_buf = prog.buffer(model.nbytes, data=model, name="model")
+    prog.target_enter_data(model_buf)
+    outputs = []
+    out_bufs = []
+    for i in range(num_shots):
+        out = np.zeros(16)
+        outputs.append(out)
+        buf = prog.buffer(out.nbytes, data=out, name=f"out{i}")
+        out_bufs.append(buf)
+        prog.target(
+            fn=lambda m, o: np.copyto(o, m * 2.0),
+            depend=[depend_in(model_buf), depend_out(buf)],
+            cost=cost,
+            name=f"shot{i}",
+        )
+    prog.target_exit_data(*out_bufs)
+    return prog, model, outputs
+
+
+class TestFaultTolerantRuntime:
+    def test_no_failures_matches_plain_semantics(self):
+        prog, model, outputs = shots_program()
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=5), FAST)
+        res = rt.run(prog)
+        assert res.failures == []
+        assert res.reexecuted_tasks == 0
+        for out in outputs:
+            np.testing.assert_allclose(out, model * 2.0)
+
+    def test_failure_during_execution_recovers(self):
+        prog, model, outputs = shots_program(cost=0.1)
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=5), FAST)
+        # Kill a worker while shots are in flight (startup is 0, tasks
+        # start ~immediately and run 100 ms).
+        res = rt.run(prog, failures=[NodeFailure(time=0.05, node=1)])
+        assert res.failures == [1]
+        # Every shot still produced the right answer.
+        for out in outputs:
+            np.testing.assert_allclose(out, model * 2.0)
+        # At least one task needed a second attempt.
+        assert max(res.task_attempts.values()) >= 2
+
+    def test_failure_detected_by_heartbeat(self):
+        prog, _, _ = shots_program(cost=0.1)
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=5), FAST)
+        res = rt.run(prog, failures=[NodeFailure(time=0.03, node=2)])
+        assert any(dead == 2 for dead, _by, _t in res.detections)
+
+    def test_two_failures_survived(self):
+        prog, model, outputs = shots_program(num_shots=6, cost=0.08)
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=6), FAST)
+        res = rt.run(
+            prog,
+            failures=[
+                NodeFailure(time=0.02, node=1),
+                NodeFailure(time=0.05, node=3),
+            ],
+        )
+        assert sorted(res.failures) == [1, 3]
+        for out in outputs:
+            np.testing.assert_allclose(out, model * 2.0)
+
+    def test_lost_sole_copy_triggers_lineage_reexecution(self):
+        # Producer writes on a worker; the consumer is gated behind a
+        # long host task; the producer's node dies in between, so the
+        # consumer must re-run the (idempotent) producer elsewhere.
+        prog = OmpProgram()
+        a = prog.buffer(64, data=np.zeros(8), name="a")
+        b = prog.buffer(64, data=np.zeros(8), name="b")
+        gate = prog.buffer(8, name="gate")
+
+        def produce(x):
+            x[:] = 1.0  # overwrites fully: safe to re-execute
+
+        producer = prog.target(
+            fn=produce, depend=[depend_out(a)], cost=0.02, name="producer",
+        )
+        prog.task(depend=[depend_out(gate)], cost=0.2, name="delay")
+        prog.target(
+            fn=lambda x, _g, y: np.copyto(y, x * 10.0),
+            depend=[depend_in(a), depend_in(gate), depend_out(b)],
+            cost=0.02, name="consumer",
+        )
+        prog.target_exit_data(a, b)
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=4), FAST)
+        res = rt.run(prog)
+        producer_node = res.schedule.assignment[producer.task_id]
+
+        # Re-run with a failure of the producer's node after it finished
+        # but before the consumer starts.
+        prog2 = OmpProgram()
+        a2 = prog2.buffer(64, data=np.zeros(8), name="a")
+        b2 = prog2.buffer(64, data=np.zeros(8), name="b")
+        gate2 = prog2.buffer(8, name="gate")
+        prog2.target(fn=produce, depend=[depend_out(a2)], cost=0.02, name="producer")
+        prog2.task(depend=[depend_out(gate2)], cost=0.2, name="delay")
+        prog2.target(
+            fn=lambda x, _g, y: np.copyto(y, x * 10.0),
+            depend=[depend_in(a2), depend_in(gate2), depend_out(b2)],
+            cost=0.02, name="consumer",
+        )
+        prog2.target_exit_data(a2, b2)
+        res2 = FaultTolerantRuntime(ClusterSpec(num_nodes=4), FAST).run(
+            prog2, failures=[NodeFailure(time=0.1, node=producer_node)]
+        )
+        assert res2.reexecuted_tasks >= 1
+        np.testing.assert_allclose(b2.data, np.full(8, 10.0))
+
+    def test_inplace_producer_loss_is_unrecoverable(self):
+        # An INOUT producer rebuilds its output from its own previous
+        # value; losing the sole copy is unrecoverable and must raise.
+        prog = OmpProgram()
+        a = prog.buffer(64, data=np.zeros(8), name="a")
+        gate = prog.buffer(8, name="gate")
+        prog.target(
+            fn=lambda x: np.add(x, 1.0, out=x),
+            depend=[depend_inout(a)], cost=0.02, name="producer",
+        )
+        prog.task(depend=[depend_out(gate)], cost=0.2, name="delay")
+        prog.target(
+            depend=[depend_in(a), depend_in(gate)], cost=0.02, name="consumer",
+        )
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=4), FAST)
+        res = rt.run(prog)
+        node = next(
+            res.schedule.assignment[t.task_id]
+            for t in prog.graph.tasks()
+            if t.name == "producer"
+        )
+        prog2 = OmpProgram()
+        a2 = prog2.buffer(64, data=np.zeros(8), name="a")
+        gate2 = prog2.buffer(8, name="gate")
+        prog2.target(
+            fn=lambda x: np.add(x, 1.0, out=x),
+            depend=[depend_inout(a2)], cost=0.02, name="producer",
+        )
+        prog2.task(depend=[depend_out(gate2)], cost=0.2, name="delay")
+        prog2.target(
+            depend=[depend_in(a2), depend_in(gate2)], cost=0.02, name="consumer",
+        )
+        with pytest.raises(RecoveryError, match="in-place producer"):
+            FaultTolerantRuntime(ClusterSpec(num_nodes=4), FAST).run(
+                prog2, failures=[NodeFailure(time=0.1, node=node)]
+            )
+
+    def test_makespan_overhead_of_recovery(self):
+        prog, _, _ = shots_program(num_shots=4, cost=0.1)
+        clean = FaultTolerantRuntime(ClusterSpec(num_nodes=5), FAST).run(prog)
+        prog2, _, _ = shots_program(num_shots=4, cost=0.1)
+        failed = FaultTolerantRuntime(ClusterSpec(num_nodes=5), FAST).run(
+            prog2, failures=[NodeFailure(time=0.05, node=1)]
+        )
+        # Recovery re-runs work, so it costs time — but bounded (not a
+        # full serial re-execution of everything).
+        assert failed.makespan > clean.makespan
+        assert failed.makespan < clean.makespan + 0.3
+
+    def test_requires_two_workers(self):
+        with pytest.raises(ValueError):
+            FaultTolerantRuntime(ClusterSpec(num_nodes=2))

@@ -1,0 +1,247 @@
+"""Tests for HEFT and the baseline schedulers."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.core.datamanager import HOST
+from repro.core.scheduler import (
+    HeftScheduler,
+    MinLoadScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.scheduler.heft import shared_bytes
+from repro.omp import OmpProgram
+from repro.omp.task import depend_in, depend_inout, depend_out
+
+
+def chain_program(n_tasks=4, cost=1.0, nbytes=1000):
+    prog = OmpProgram()
+    a = prog.buffer(nbytes, name="A")
+    prog.target_enter_data(a)
+    for i in range(n_tasks):
+        prog.target(depend=[depend_inout(a)], cost=cost, name=f"t{i}")
+    prog.target_exit_data(a)
+    return prog
+
+
+def wide_program(width=8, cost=1.0, nbytes=1000):
+    prog = OmpProgram()
+    for i in range(width):
+        b = prog.buffer(nbytes, name=f"b{i}")
+        prog.target_enter_data(b)
+        prog.target(depend=[depend_inout(b)], cost=cost, name=f"t{i}")
+        prog.target_exit_data(b)
+    return prog
+
+
+def cluster(n=5, overrides=()):
+    return Cluster(ClusterSpec(num_nodes=n, node_overrides=tuple(overrides)))
+
+
+class TestSharedBytes:
+    def test_counts_buffers_written_then_read(self):
+        prog = OmpProgram()
+        a = prog.buffer(100, name="a")
+        b = prog.buffer(50, name="b")
+        producer = prog.target(depend=[depend_out(a), depend_out(b)])
+        consumer = prog.target(depend=[depend_in(a)])
+        assert shared_bytes(producer, consumer) == 100
+
+    def test_no_shared_data(self):
+        prog = OmpProgram()
+        a, b = prog.buffer(100), prog.buffer(50)
+        t1 = prog.target(depend=[depend_out(a)])
+        t2 = prog.target(depend=[depend_in(b)])
+        assert shared_bytes(t1, t2) == 0
+
+
+class TestHeft:
+    def test_every_task_assigned(self):
+        prog = chain_program()
+        sched = HeftScheduler().schedule(prog.graph, cluster())
+        assert set(sched.assignment) == {t.task_id for t in prog.graph.tasks()}
+
+    def test_serial_chain_stays_on_one_node(self):
+        # Moving an inout chain between nodes only adds communication;
+        # HEFT must keep it on a single worker.
+        prog = chain_program(n_tasks=6)
+        sched = HeftScheduler().schedule(prog.graph, cluster())
+        nodes = {
+            sched.assignment[t.task_id]
+            for t in prog.graph.tasks()
+            if t.name.startswith("t")
+        }
+        assert len(nodes) == 1
+        assert HOST not in nodes
+
+    def test_independent_tasks_spread_across_workers(self):
+        # With one execution slot per node (classic HEFT processors),
+        # independent equal tasks must fan out over every worker.
+        prog = wide_program(width=8)
+        sched = HeftScheduler(exec_slots_per_node=1).schedule(
+            prog.graph, cluster(n=5)
+        )
+        nodes = {
+            sched.assignment[t.task_id]
+            for t in prog.graph.tasks()
+            if t.name.startswith("t")
+        }
+        assert nodes == {1, 2, 3, 4}
+
+    def test_capacity_aware_packing_preserves_makespan(self):
+        # With 4 slots per node, packing 8 equal tasks onto 2 nodes is
+        # as good as spreading: all of them run concurrently.
+        prog = wide_program(width=8, cost=1.0)
+        sched = HeftScheduler(exec_slots_per_node=4).schedule(
+            prog.graph, cluster(n=5)
+        )
+        assert sched.makespan_estimate == pytest.approx(1.0, rel=1e-3)
+        # No node holds more concurrent work than it has slots.
+        from collections import Counter
+
+        per_node = Counter(
+            sched.assignment[t.task_id]
+            for t in prog.graph.tasks()
+            if t.name.startswith("t")
+        )
+        assert all(count <= 4 for count in per_node.values())
+
+    def test_affinity_keeps_chains_home(self):
+        # Tasks tagged with the same affinity stay on one node when the
+        # alternative saves nothing (stencil-like symmetric ties).
+        prog = OmpProgram()
+        bufs = [prog.buffer(1000, name=f"b{i}") for i in range(4)]
+        for step in range(6):
+            for i in range(4):
+                deps = [depend_inout(bufs[i])]
+                if i > 0:
+                    deps.append(depend_in(bufs[i - 1]))
+                prog.target(depend=deps, cost=1.0, name=f"t{step}.{i}", affinity=i)
+        sched = HeftScheduler().schedule(prog.graph, cluster(n=5))
+        by_affinity: dict[int, set[int]] = {}
+        for t in prog.graph.tasks():
+            by_affinity.setdefault(t.meta["affinity"], set()).add(
+                sched.assignment[t.task_id]
+            )
+        # Every chain lives on exactly one node.
+        assert all(len(nodes) == 1 for nodes in by_affinity.values())
+
+    def test_invalid_scheduler_params(self):
+        with pytest.raises(ValueError):
+            HeftScheduler(exec_slots_per_node=0)
+        with pytest.raises(ValueError):
+            HeftScheduler(affinity_stickiness=-1.0)
+
+    def test_faster_node_preferred(self):
+        prog = wide_program(width=1)
+        fast = NodeSpec(cores=48, threads=96, speed=10.0)
+        sched = HeftScheduler().schedule(
+            prog.graph, cluster(n=4, overrides=[(3, fast)])
+        )
+        target_task = next(t for t in prog.graph.tasks() if t.name == "t0")
+        assert sched.assignment[target_task.task_id] == 3
+
+    def test_heterogeneous_load_balance(self):
+        # A node twice as fast should get roughly twice the tasks.
+        prog = wide_program(width=12)
+        fast = NodeSpec(cores=48, threads=96, speed=2.0)
+        sched = HeftScheduler().schedule(
+            prog.graph, cluster(n=3, overrides=[(2, fast)])
+        )
+        counts = {1: 0, 2: 0}
+        for t in prog.graph.tasks():
+            if t.name.startswith("t"):
+                counts[sched.assignment[t.task_id]] += 1
+        assert counts[2] == 2 * counts[1]
+
+    def test_enter_data_colocated_with_consumer(self):
+        prog = chain_program()
+        graph = prog.graph
+        sched = HeftScheduler().schedule(graph, cluster())
+        enter = next(t for t in graph.tasks() if t.kind.value == "enter_data")
+        consumer = graph.successors(enter)[0]
+        assert sched.assignment[enter.task_id] == sched.assignment[consumer.task_id]
+
+    def test_exit_data_colocated_with_producer(self):
+        prog = chain_program()
+        graph = prog.graph
+        sched = HeftScheduler().schedule(graph, cluster())
+        exit_ = next(t for t in graph.tasks() if t.kind.value == "exit_data")
+        producer = graph.predecessors(exit_)[-1]
+        assert sched.assignment[exit_.task_id] == sched.assignment[producer.task_id]
+
+    def test_classical_tasks_pinned_to_head(self):
+        prog = OmpProgram()
+        a = prog.buffer(10)
+        prog.task(depend=[depend_out(a)], cost=1.0)
+        prog.target(depend=[depend_inout(a)], cost=1.0)
+        sched = HeftScheduler().schedule(prog.graph, cluster())
+        classical = next(t for t in prog.graph.tasks() if t.kind.value == "classical")
+        assert sched.assignment[classical.task_id] == HOST
+
+    def test_single_node_cluster_degenerates_to_host(self):
+        prog = chain_program()
+        sched = HeftScheduler().schedule(prog.graph, cluster(n=1))
+        assert all(n == HOST for n in sched.assignment.values())
+
+    def test_planned_intervals_consistent(self):
+        prog = chain_program(n_tasks=3, cost=1.0)
+        sched = HeftScheduler().schedule(prog.graph, cluster())
+        intervals = sorted(sched.planned.values())
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-12  # serial chain: no overlap
+        assert sched.makespan_estimate >= 3.0
+
+    def test_deterministic(self):
+        prog = wide_program(width=10)
+        s1 = HeftScheduler().schedule(prog.graph, cluster())
+        s2 = HeftScheduler().schedule(prog.graph, cluster())
+        assert s1.assignment == s2.assignment
+
+
+class TestBaselines:
+    def test_round_robin_cycles(self):
+        prog = wide_program(width=6)
+        sched = RoundRobinScheduler().schedule(prog.graph, cluster(n=4))
+        targets = [t for t in prog.graph.tasks() if t.name.startswith("t")]
+        nodes = [sched.assignment[t.task_id] for t in targets]
+        assert nodes == [1, 2, 3, 1, 2, 3]
+
+    def test_random_reproducible(self):
+        prog = wide_program(width=10)
+        s1 = RandomScheduler(seed=7).schedule(prog.graph, cluster())
+        s2 = RandomScheduler(seed=7).schedule(prog.graph, cluster())
+        assert s1.assignment == s2.assignment
+        s3 = RandomScheduler(seed=8).schedule(prog.graph, cluster())
+        assert s3.assignment != s1.assignment
+
+    def test_random_only_uses_workers(self):
+        prog = wide_program(width=20)
+        sched = RandomScheduler(seed=1).schedule(prog.graph, cluster(n=4))
+        targets = [t for t in prog.graph.tasks() if t.name.startswith("t")]
+        assert all(sched.assignment[t.task_id] in {1, 2, 3} for t in targets)
+
+    def test_min_load_balances_uneven_costs(self):
+        prog = OmpProgram()
+        costs = [4.0, 1.0, 1.0, 1.0, 1.0]
+        for i, c in enumerate(costs):
+            b = prog.buffer(10)
+            prog.target(depend=[depend_inout(b)], cost=c, name=f"t{i}")
+        sched = MinLoadScheduler().schedule(prog.graph, cluster(n=3))
+        load = {1: 0.0, 2: 0.0}
+        for t in prog.graph.tasks():
+            load[sched.assignment[t.task_id]] += t.cost
+        assert abs(load[1] - load[2]) <= 2.0
+
+    def test_baselines_apply_pinning_rules(self):
+        prog = chain_program()
+        for scheduler in (RoundRobinScheduler(), RandomScheduler(), MinLoadScheduler()):
+            sched = scheduler.schedule(prog.graph, cluster())
+            graph = prog.graph
+            enter = next(t for t in graph.tasks() if t.kind.value == "enter_data")
+            consumer = graph.successors(enter)[0]
+            assert (
+                sched.assignment[enter.task_id]
+                == sched.assignment[consumer.task_id]
+            )

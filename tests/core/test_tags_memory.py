@@ -1,0 +1,72 @@
+"""Tests for tag allocation and worker-side device memory."""
+
+import pytest
+
+from repro.core.memory import DeviceMemory, DeviceMemoryError
+from repro.core.tags import FIRST_EVENT_TAG, NOTIFY_TAG, TagAllocator
+
+
+class TestTagAllocator:
+    def test_tags_unique_and_monotone(self):
+        alloc = TagAllocator()
+        tags = [alloc.allocate() for _ in range(100)]
+        assert len(set(tags)) == 100
+        assert tags == sorted(tags)
+        assert alloc.allocated == 100
+
+    def test_never_collides_with_notify_tag(self):
+        alloc = TagAllocator()
+        assert all(alloc.allocate() != NOTIFY_TAG for _ in range(10))
+
+    def test_custom_first_tag(self):
+        alloc = TagAllocator(first=100)
+        assert alloc.allocate() == 100
+
+    def test_first_below_reserved_rejected(self):
+        with pytest.raises(ValueError):
+            TagAllocator(first=NOTIFY_TAG)
+
+
+class TestDeviceMemory:
+    def test_alloc_and_read(self):
+        mem = DeviceMemory(1)
+        mem.alloc(7, payload="data")
+        assert 7 in mem
+        assert mem.read(7) == "data"
+        assert mem.allocations == 1
+
+    def test_read_missing_raises(self):
+        mem = DeviceMemory(1)
+        with pytest.raises(DeviceMemoryError, match="non-resident"):
+            mem.read(42)
+
+    def test_write_requires_alloc(self):
+        mem = DeviceMemory(1)
+        with pytest.raises(DeviceMemoryError, match="unallocated"):
+            mem.write(1, "x")
+        mem.alloc(1)
+        mem.write(1, "x")
+        assert mem.read(1) == "x"
+
+    def test_delete(self):
+        mem = DeviceMemory(1)
+        mem.alloc(1)
+        mem.delete(1)
+        assert 1 not in mem
+        assert mem.deletions == 1
+        with pytest.raises(DeviceMemoryError):
+            mem.delete(1)
+
+    def test_realloc_not_double_counted(self):
+        mem = DeviceMemory(1)
+        mem.alloc(1, "a")
+        mem.alloc(1, "b")
+        assert mem.allocations == 1
+        assert mem.read(1) == "b"
+
+    def test_resident_buffers_sorted(self):
+        mem = DeviceMemory(1)
+        for bid in (5, 1, 3):
+            mem.alloc(bid)
+        assert mem.resident_buffers() == [1, 3, 5]
+        assert len(mem) == 3

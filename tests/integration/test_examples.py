@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are part of the public API surface (the README points users at
+them), so they are executed here — with their own ``main()`` — and
+their internal assertions double as correctness checks.  The seismic
+example is exercised at reduced size by the Awave tests instead (full
+size is benchmark-scale).
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def run_example(module_name: str) -> None:
+    module = importlib.import_module(module_name)
+    try:
+        module.main()
+    finally:
+        # Keep one test's module state from leaking into the next.
+        sys.modules.pop(module_name, None)
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "OMPC cluster" in out
+        assert "task placement" in out
+
+    def test_data_pipeline(self, capsys):
+        run_example("data_pipeline")
+        out = capsys.readouterr().out
+        assert "matches expected mean" in out
+
+    def test_fault_tolerance(self, capsys):
+        run_example("fault_tolerance")
+        out = capsys.readouterr().out
+        assert "all shot outputs correct: True" in out
+        assert "declared dead" in out
+
+    def test_gpu_offloading(self, capsys):
+        run_example("gpu_offloading")
+        out = capsys.readouterr().out
+        assert "gpu executions: 4" in out
+
+    def test_taskbench_comparison(self, capsys):
+        run_example("taskbench_comparison")
+        out = capsys.readouterr().out
+        assert "OMPC" in out and "Charm++" in out

@@ -1,0 +1,207 @@
+"""Tests for collective operations at several rank counts."""
+
+import operator
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NetworkSpec
+from repro.mpi import MpiWorld
+from repro.mpi.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+
+
+def run_collective(n, body, root=0):
+    """Run `body(rank_handle, results_dict)` on every rank; return results."""
+    cluster = Cluster(
+        ClusterSpec(num_nodes=n, network=NetworkSpec(latency=1e-6, bandwidth=1e10))
+    )
+    mpi = MpiWorld(cluster, overhead=0.0)
+    results = {}
+    for rid in range(n):
+        cluster.sim.process(body(mpi.world.rank(rid), results), name=f"rank{rid}")
+    cluster.sim.run(check_deadlock=True)
+    assert len(results) == n
+    return results
+
+
+SIZES = [1, 2, 3, 4, 5, 8, 13, 16]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_all_ranks_receive(self, n):
+        def body(rank, results):
+            value = "payload" if rank.rank_id == 0 else None
+            got = yield from bcast(rank, value, nbytes=10, root=0)
+            results[rank.rank_id] = got
+
+        results = run_collective(n, body)
+        assert all(v == "payload" for v in results.values())
+
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_nonzero_root(self, root):
+        def body(rank, results):
+            value = f"from-{root}" if rank.rank_id == root else None
+            got = yield from bcast(rank, value, root=root)
+            results[rank.rank_id] = got
+
+        results = run_collective(4, body, root=root)
+        assert all(v == f"from-{root}" for v in results.values())
+
+
+class TestGather:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_root_collects_all(self, n):
+        def body(rank, results):
+            got = yield from gather(rank, rank.rank_id * 2, root=0)
+            results[rank.rank_id] = got
+
+        results = run_collective(n, body)
+        assert results[0] == [i * 2 for i in range(n)]
+        assert all(results[i] is None for i in range(1, n))
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_sum_to_root(self, n):
+        def body(rank, results):
+            got = yield from reduce(rank, rank.rank_id + 1, operator.add, root=0)
+            results[rank.rank_id] = got
+
+        results = run_collective(n, body)
+        assert results[0] == n * (n + 1) // 2
+        assert all(results[i] is None for i in range(1, n))
+
+    def test_max_reduction(self):
+        def body(rank, results):
+            got = yield from reduce(rank, rank.rank_id, max, root=0)
+            results[rank.rank_id] = got
+
+        results = run_collective(6, body)
+        assert results[0] == 5
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_sum_everywhere(self, n):
+        def body(rank, results):
+            got = yield from allreduce(rank, rank.rank_id + 1, operator.add)
+            results[rank.rank_id] = got
+
+        results = run_collective(n, body)
+        assert all(v == n * (n + 1) // 2 for v in results.values())
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_no_rank_leaves_before_last_enters(self, n):
+        cluster = Cluster(ClusterSpec(num_nodes=n))
+        mpi = MpiWorld(cluster, overhead=0.0)
+        sim = cluster.sim
+        enter, leave = {}, {}
+
+        def body(rid):
+            # Stagger arrival: rank i enters the barrier at t=i.
+            yield sim.timeout(float(rid))
+            enter[rid] = sim.now
+            yield from barrier(mpi.world.rank(rid))
+            leave[rid] = sim.now
+
+        for rid in range(n):
+            sim.process(body(rid), name=f"rank{rid}")
+        sim.run(check_deadlock=True)
+        last_entry = max(enter.values())
+        assert all(t >= last_entry for t in leave.values())
+
+
+class TestScatter:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_each_rank_gets_its_slice(self, n):
+        def body(rank, results):
+            values = [f"v{i}" for i in range(n)] if rank.rank_id == 0 else None
+            got = yield from scatter(rank, values, root=0)
+            results[rank.rank_id] = got
+
+        results = run_collective(n, body)
+        assert results == {i: f"v{i}" for i in range(n)}
+
+    def test_root_without_values_rejected(self):
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        mpi = MpiWorld(cluster, overhead=0.0)
+
+        def bad_root():
+            yield from scatter(mpi.world.rank(0), None, root=0)
+
+        cluster.sim.process(bad_root())
+        with pytest.raises(ValueError):
+            cluster.sim.run()
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_everyone_gets_everything(self, n):
+        def body(rank, results):
+            got = yield from allgather(rank, f"v{rank.rank_id}")
+            results[rank.rank_id] = got
+
+        results = run_collective(n, body)
+        expected = [f"v{i}" for i in range(n)]
+        assert all(v == expected for v in results.values())
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_personalized_exchange(self, n):
+        def body(rank, results):
+            outgoing = [f"{rank.rank_id}->{j}" for j in range(n)]
+            got = yield from alltoall(rank, outgoing)
+            results[rank.rank_id] = got
+
+        results = run_collective(n, body)
+        for rid, got in results.items():
+            assert got == [f"{src}->{rid}" for src in range(n)]
+
+    def test_wrong_length_rejected(self):
+        cluster = Cluster(ClusterSpec(num_nodes=3))
+        mpi = MpiWorld(cluster, overhead=0.0)
+
+        def bad():
+            yield from alltoall(mpi.world.rank(0), [1, 2])
+
+        cluster.sim.process(bad())
+        with pytest.raises(ValueError):
+            cluster.sim.run()
+
+
+class TestVciPool:
+    def test_round_robin_selection(self):
+        from repro.mpi import CommunicatorPool
+
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        mpi = MpiWorld(cluster)
+        pool = CommunicatorPool(mpi, 4)
+        assert len(pool) == 4
+        assert pool.select(0) is pool.comms[0]
+        assert pool.select(5) is pool.comms[1]
+        assert pool.select(4) is pool.comms[0]
+        # Distinct communicator ids.
+        assert len({c.comm_id for c in pool.comms}) == 4
+
+    def test_bad_pool_size(self):
+        from repro.mpi import CommunicatorPool
+
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        mpi = MpiWorld(cluster)
+        with pytest.raises(ValueError):
+            CommunicatorPool(mpi, 0)
+        pool = CommunicatorPool(mpi, 2)
+        with pytest.raises(ValueError):
+            pool.select(-1)

@@ -1,0 +1,248 @@
+"""Tests for point-to-point messaging and matching semantics."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NetworkSpec
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiError, MpiWorld
+from repro.mpi.request import Request
+
+
+def make_world(n=2, **net_kwargs):
+    net = NetworkSpec(**net_kwargs) if net_kwargs else NetworkSpec()
+    cluster = Cluster(ClusterSpec(num_nodes=n, network=net))
+    return cluster, MpiWorld(cluster, overhead=0.0)
+
+
+class TestBasicMessaging:
+    def test_send_recv_roundtrip(self):
+        cluster, mpi = make_world(2)
+        sim = cluster.sim
+
+        def sender():
+            r = mpi.world.rank(0)
+            yield from r.send(1, {"x": 42}, nbytes=100, tag=7)
+
+        def receiver():
+            r = mpi.world.rank(1)
+            msg = yield from r.recv(src=0, tag=7)
+            return msg.payload
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        assert sim.run(until=p) == {"x": 42}
+
+    def test_transfer_charges_network_time(self):
+        cluster, mpi = make_world(2, latency=1e-6, bandwidth=1e9)
+        sim = cluster.sim
+
+        def sender():
+            yield from mpi.world.rank(0).send(1, None, nbytes=1e6)
+
+        def receiver():
+            yield from mpi.world.rank(1).recv(src=0)
+            return sim.now
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        assert sim.run(until=p) == pytest.approx(1e-3 + 1e-6)
+
+    def test_software_overhead_charged(self):
+        cluster = Cluster(
+            ClusterSpec(num_nodes=2, network=NetworkSpec(latency=0.0, bandwidth=1e12))
+        )
+        mpi = MpiWorld(cluster, overhead=1e-5)
+        sim = cluster.sim
+
+        def sender():
+            yield from mpi.world.rank(0).send(1, None, nbytes=0)
+
+        def receiver():
+            yield from mpi.world.rank(1).recv(src=0)
+            return sim.now
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        assert sim.run(until=p) == pytest.approx(1e-5)
+
+    def test_recv_blocks_until_message(self):
+        cluster, mpi = make_world(2)
+        sim = cluster.sim
+
+        def sender():
+            yield sim.timeout(5.0)
+            yield from mpi.world.rank(0).send(1, "late")
+
+        def receiver():
+            yield from mpi.world.rank(1).recv(src=0)
+            return sim.now
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        assert sim.run(until=p) >= 5.0
+
+
+class TestMatching:
+    def test_tag_matching(self):
+        cluster, mpi = make_world(2)
+        sim = cluster.sim
+
+        def sender():
+            r = mpi.world.rank(0)
+            yield from r.send(1, "tagged-3", tag=3)
+            yield from r.send(1, "tagged-9", tag=9)
+
+        def receiver():
+            r = mpi.world.rank(1)
+            first = yield from r.recv(src=0, tag=9)
+            second = yield from r.recv(src=0, tag=3)
+            return first.payload, second.payload
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        assert sim.run(until=p) == ("tagged-9", "tagged-3")
+
+    def test_source_matching(self):
+        cluster, mpi = make_world(3)
+        sim = cluster.sim
+
+        def sender(src, payload, delay):
+            def proc():
+                yield sim.timeout(delay)
+                yield from mpi.world.rank(src).send(2, payload)
+            return proc
+
+        def receiver():
+            r = mpi.world.rank(2)
+            from_1 = yield from r.recv(src=1)
+            from_0 = yield from r.recv(src=0)
+            return from_1.payload, from_0.payload
+
+        sim.process(sender(0, "zero", 0.0)())
+        sim.process(sender(1, "one", 1.0)())
+        p = sim.process(receiver())
+        assert sim.run(until=p) == ("one", "zero")
+
+    def test_wildcards(self):
+        cluster, mpi = make_world(3)
+        sim = cluster.sim
+
+        def sender():
+            yield from mpi.world.rank(1).send(0, "anything", tag=55)
+
+        def receiver():
+            r = mpi.world.rank(0)
+            msg = yield from r.recv(src=ANY_SOURCE, tag=ANY_TAG)
+            return msg.src, msg.tag, msg.payload
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        assert sim.run(until=p) == (1, 55, "anything")
+
+    def test_non_overtaking_same_src_tag(self):
+        # Messages with equal (src, tag) must be received in send order.
+        cluster, mpi = make_world(2, latency=0.0, bandwidth=1e12)
+        sim = cluster.sim
+
+        def sender():
+            r = mpi.world.rank(0)
+            for i in range(10):
+                yield from r.send(1, i, tag=1)
+
+        def receiver():
+            r = mpi.world.rank(1)
+            out = []
+            for _ in range(10):
+                msg = yield from r.recv(src=0, tag=1)
+                out.append(msg.payload)
+            return out
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        assert sim.run(until=p) == list(range(10))
+
+    def test_communicator_isolation(self):
+        cluster, mpi = make_world(2)
+        sim = cluster.sim
+        other = mpi.world.dup()
+
+        def sender():
+            yield from other.rank(0).send(1, "on-dup", tag=1)
+            yield from mpi.world.rank(0).send(1, "on-world", tag=1)
+
+        def receiver():
+            # Same (src, tag) but different communicators must not match
+            # each other even though the dup message arrives first.
+            world_msg = yield from mpi.world.rank(1).recv(src=0, tag=1)
+            dup_msg = yield from other.rank(1).recv(src=0, tag=1)
+            return world_msg.payload, dup_msg.payload
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        assert sim.run(until=p) == ("on-world", "on-dup")
+
+
+class TestNonblocking:
+    def test_isend_irecv(self):
+        cluster, mpi = make_world(2)
+        sim = cluster.sim
+
+        def receiver():
+            r = mpi.world.rank(1)
+            req = r.irecv(src=0)
+            assert not req.test()
+            msg = yield from req.wait()
+            assert req.test()
+            return msg.payload
+
+        def sender():
+            yield sim.timeout(1.0)
+            req = mpi.world.rank(0).isend(1, "async")
+            yield from req.wait()
+
+        p = sim.process(receiver())
+        sim.process(sender())
+        assert sim.run(until=p) == "async"
+
+    def test_wait_all(self):
+        cluster, mpi = make_world(4, latency=0.0, bandwidth=1e12)
+        sim = cluster.sim
+
+        def receiver():
+            r = mpi.world.rank(0)
+            reqs = [r.irecv(src=s) for s in (1, 2, 3)]
+            msgs = yield from Request.wait_all(reqs)
+            return sorted(m.payload for m in msgs)
+
+        def sender(src):
+            def proc():
+                yield from mpi.world.rank(src).send(0, src * 10)
+            return proc
+
+        p = sim.process(receiver())
+        for s in (1, 2, 3):
+            sim.process(sender(s)())
+        assert sim.run(until=p) == [10, 20, 30]
+
+
+class TestValidation:
+    def test_bad_rank(self):
+        _, mpi = make_world(2)
+        with pytest.raises(MpiError):
+            mpi.world.rank(5)
+
+    def test_bad_send_tag(self):
+        cluster, mpi = make_world(2)
+        with pytest.raises(MpiError):
+            mpi.world.rank(0).isend(1, None, tag=-3)
+
+    def test_negative_overhead_rejected(self):
+        cluster = Cluster(ClusterSpec(num_nodes=1))
+        with pytest.raises(ValueError):
+            MpiWorld(cluster, overhead=-1.0)
+
+    def test_rank_on_other_communicator(self):
+        _, mpi = make_world(2)
+        r = mpi.world.rank(0)
+        dup = mpi.world.dup()
+        assert r.on(dup).rank_id == 0
+        assert r.on(dup).comm is dup

@@ -1,0 +1,139 @@
+"""Tests for the OmpProgram builder (Listing 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.omp import OmpProgram, TaskKind
+from repro.omp.task import depend_in, depend_inout, depend_out
+
+
+class TestListing1:
+    """The paper's Listing 1 must produce the Figure 1 task chain."""
+
+    def test_chain_structure(self):
+        prog = OmpProgram("listing1")
+        A = prog.buffer(nbytes=1000 * 8, name="A")
+        enter = prog.target_enter_data(A)
+        foo = prog.target(depend=[depend_inout(A)], cost=0.05, name="foo")
+        bar = prog.target(depend=[depend_inout(A)], cost=0.05, name="bar")
+        exit_ = prog.target_exit_data(A)
+
+        g = prog.graph
+        assert g.successors(enter) == [foo]
+        assert g.successors(foo) == [bar]
+        assert g.successors(bar) == [exit_]
+        assert g.num_edges == 3
+        prog.validate()
+
+    def test_task_kinds(self):
+        prog = OmpProgram()
+        A = prog.buffer(8)
+        enter = prog.target_enter_data(A)
+        t = prog.target(depend=[depend_inout(A)])
+        cls = prog.task(cost=0.0)
+        exit_ = prog.target_exit_data(A)
+        assert enter.kind == TaskKind.TARGET_ENTER_DATA
+        assert t.kind == TaskKind.TARGET
+        assert cls.kind == TaskKind.CLASSICAL
+        assert exit_.kind == TaskKind.TARGET_EXIT_DATA
+        assert prog.target_tasks() == [t]
+
+
+class TestValidation:
+    def test_undeclared_buffer_rejected(self):
+        from repro.omp import Buffer
+
+        prog = OmpProgram()
+        rogue = Buffer(8)  # not declared via prog.buffer()
+        prog.target(depend=[depend_in(rogue)])
+        with pytest.raises(ValueError, match="undeclared buffer"):
+            prog.validate()
+
+    def test_enter_data_requires_buffers(self):
+        prog = OmpProgram()
+        with pytest.raises(ValueError):
+            prog.target_enter_data()
+        with pytest.raises(ValueError):
+            prog.target_exit_data()
+
+    def test_meta_carried(self):
+        prog = OmpProgram()
+        t = prog.target(cost=1.0, point=(3, 4))
+        assert t.meta == {"point": (3, 4)}
+
+
+class TestHostRuntime:
+    def test_serial_chain_accumulates_cost(self):
+        from repro.omp.host import HostRuntime
+
+        prog = OmpProgram()
+        A = prog.buffer(8)
+        prog.target_enter_data(A)
+        prog.target(depend=[depend_inout(A)], cost=1.0)
+        prog.target(depend=[depend_inout(A)], cost=2.0)
+        prog.target_exit_data(A)
+        result = HostRuntime(num_threads=4).run(prog)
+        assert result.makespan == pytest.approx(3.0)
+        assert result.num_tasks == 4
+
+    def test_independent_tasks_run_in_parallel(self):
+        from repro.omp.host import HostRuntime
+
+        prog = OmpProgram()
+        bufs = [prog.buffer(8) for _ in range(4)]
+        for b in bufs:
+            prog.target(depend=[depend_out(b)], cost=1.0)
+        result = HostRuntime(num_threads=4).run(prog)
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_thread_limit_serializes(self):
+        from repro.omp.host import HostRuntime
+
+        prog = OmpProgram()
+        bufs = [prog.buffer(8) for _ in range(4)]
+        for b in bufs:
+            prog.target(depend=[depend_out(b)], cost=1.0)
+        result = HostRuntime(num_threads=2).run(prog)
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_functions_actually_execute(self):
+        from repro.omp.host import HostRuntime
+
+        prog = OmpProgram()
+        data = np.zeros(4)
+        A = prog.buffer(data.nbytes, data=data, name="A")
+        prog.target_enter_data(A)
+        prog.target(
+            fn=lambda a: np.add(a, 1.0, out=a),
+            depend=[depend_inout(A)],
+            cost=0.01,
+        )
+        prog.target(
+            fn=lambda a: np.multiply(a, 2.0, out=a),
+            depend=[depend_inout(A)],
+            cost=0.01,
+        )
+        prog.target_exit_data(A)
+        HostRuntime(num_threads=2).run(prog)
+        np.testing.assert_allclose(data, np.full(4, 2.0))
+
+    def test_faster_node_speeds_up(self):
+        from repro.omp.host import HostRuntime
+
+        prog = OmpProgram()
+        A = prog.buffer(8)
+        prog.target(depend=[depend_inout(A)], cost=4.0)
+        result = HostRuntime(num_threads=1, speed=2.0).run(prog)
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_empty_program(self):
+        from repro.omp.host import HostRuntime
+
+        result = HostRuntime().run(OmpProgram())
+        assert result.makespan == 0.0
+
+    def test_invalid_thread_count(self):
+        from repro.omp.host import HostRuntime
+
+        with pytest.raises(ValueError):
+            HostRuntime(num_threads=0)

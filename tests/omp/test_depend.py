@@ -1,0 +1,89 @@
+"""Tests for the sequential dependence analysis."""
+
+from repro.omp import Buffer, DependenceAnalyzer, Task, TaskKind
+from repro.omp.task import depend_in, depend_inout, depend_out
+
+
+def mk(task_id, *deps):
+    return Task(task_id=task_id, kind=TaskKind.TARGET, deps=tuple(deps))
+
+
+class TestDependenceAnalyzer:
+    def test_raw_edge(self):
+        a = Buffer(1)
+        an = DependenceAnalyzer()
+        writer = mk(0, depend_out(a))
+        reader = mk(1, depend_in(a))
+        assert an.edges_for(writer) == []
+        assert an.edges_for(reader) == [(writer, reader)]
+
+    def test_waw_edge(self):
+        a = Buffer(1)
+        an = DependenceAnalyzer()
+        w1, w2 = mk(0, depend_out(a)), mk(1, depend_out(a))
+        an.edges_for(w1)
+        assert an.edges_for(w2) == [(w1, w2)]
+
+    def test_war_edge(self):
+        a = Buffer(1)
+        an = DependenceAnalyzer()
+        writer = mk(0, depend_out(a))
+        r1, r2 = mk(1, depend_in(a)), mk(2, depend_in(a))
+        w2 = mk(3, depend_out(a))
+        an.edges_for(writer)
+        an.edges_for(r1)
+        an.edges_for(r2)
+        edges = an.edges_for(w2)
+        # The new writer must wait for both readers (the earlier writer is
+        # already ordered before them transitively but also collected).
+        preds = {p.task_id for p, _ in edges}
+        assert {1, 2} <= preds
+
+    def test_readers_do_not_depend_on_each_other(self):
+        a = Buffer(1)
+        an = DependenceAnalyzer()
+        an.edges_for(mk(0, depend_out(a)))
+        r1 = mk(1, depend_in(a))
+        r2 = mk(2, depend_in(a))
+        an.edges_for(r1)
+        edges = an.edges_for(r2)
+        assert all(p.task_id == 0 for p, _ in edges)
+
+    def test_inout_chain_serializes(self):
+        a = Buffer(1)
+        an = DependenceAnalyzer()
+        tasks = [mk(i, depend_inout(a)) for i in range(4)]
+        an.edges_for(tasks[0])
+        for i in range(1, 4):
+            edges = an.edges_for(tasks[i])
+            assert edges == [(tasks[i - 1], tasks[i])]
+
+    def test_independent_buffers_no_edges(self):
+        a, b = Buffer(1), Buffer(1)
+        an = DependenceAnalyzer()
+        an.edges_for(mk(0, depend_inout(a)))
+        assert an.edges_for(mk(1, depend_inout(b))) == []
+
+    def test_in_and_out_same_buffer_no_self_edge(self):
+        a = Buffer(1)
+        an = DependenceAnalyzer()
+        task = mk(0, depend_in(a), depend_out(a))
+        assert an.edges_for(task) == []
+
+    def test_edges_deduplicated_across_buffers(self):
+        a, b = Buffer(1), Buffer(1)
+        an = DependenceAnalyzer()
+        producer = mk(0, depend_out(a), depend_out(b))
+        consumer = mk(1, depend_in(a), depend_in(b))
+        an.edges_for(producer)
+        assert an.edges_for(consumer) == [(producer, consumer)]
+
+    def test_last_writer_query(self):
+        a = Buffer(1)
+        an = DependenceAnalyzer()
+        assert an.last_writer(a) is None
+        w = mk(0, depend_out(a))
+        an.edges_for(w)
+        assert an.last_writer(a) is w
+        an.edges_for(mk(1, depend_in(a)))
+        assert an.last_writer(a) is w

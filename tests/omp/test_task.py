@@ -1,0 +1,98 @@
+"""Tests for tasks, buffers, and dependence clause objects."""
+
+import pytest
+
+from repro.omp import (
+    Buffer,
+    Dep,
+    DepType,
+    Task,
+    TaskKind,
+    depend_in,
+    depend_inout,
+    depend_out,
+)
+
+
+class TestDepType:
+    def test_reads_writes_matrix(self):
+        assert DepType.IN.reads and not DepType.IN.writes
+        assert DepType.OUT.writes and not DepType.OUT.reads
+        assert DepType.INOUT.reads and DepType.INOUT.writes
+
+
+class TestBuffer:
+    def test_unique_ids(self):
+        a, b = Buffer(10), Buffer(10)
+        assert a.buffer_id != b.buffer_id
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Buffer(-1)
+
+    def test_payload_carried_by_reference(self):
+        payload = [1, 2, 3]
+        buf = Buffer(24, data=payload)
+        assert buf.data is payload
+
+    def test_default_name(self):
+        buf = Buffer(1)
+        assert buf.name == f"buf{buf.buffer_id}"
+
+
+class TestDepHelpers:
+    def test_helpers_build_expected_types(self):
+        buf = Buffer(8)
+        assert depend_in(buf) == Dep(buf, DepType.IN)
+        assert depend_out(buf) == Dep(buf, DepType.OUT)
+        assert depend_inout(buf) == Dep(buf, DepType.INOUT)
+
+
+class TestTask:
+    def test_reads_writes_views(self):
+        a, b, c = Buffer(1), Buffer(1), Buffer(1)
+        task = Task(
+            task_id=0,
+            kind=TaskKind.TARGET,
+            deps=(depend_in(a), depend_out(b), depend_inout(c)),
+        )
+        assert task.reads == (a, c)
+        assert task.writes == (b, c)
+        assert set(task.touched) == {a, b, c}
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, kind=TaskKind.TARGET, cost=-1.0)
+
+    def test_data_movement_cannot_carry_code(self):
+        buf = Buffer(1)
+        with pytest.raises(ValueError):
+            Task(
+                task_id=0,
+                kind=TaskKind.TARGET_ENTER_DATA,
+                fn=lambda: None,
+                buffers=(buf,),
+            )
+
+    def test_data_movement_requires_buffers(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, kind=TaskKind.TARGET_EXIT_DATA)
+
+    def test_dep_type_for_strongest_wins(self):
+        buf = Buffer(1)
+        task = Task(
+            task_id=0,
+            kind=TaskKind.TARGET,
+            deps=(depend_in(buf), depend_out(buf)),
+        )
+        assert task.dep_type_for(buf) == DepType.INOUT
+
+    def test_dep_type_for_absent_buffer(self):
+        task = Task(task_id=0, kind=TaskKind.TARGET)
+        assert task.dep_type_for(Buffer(1)) is None
+
+    def test_kind_predicates(self):
+        assert TaskKind.TARGET_ENTER_DATA.is_data_movement
+        assert TaskKind.TARGET_EXIT_DATA.is_data_movement
+        assert not TaskKind.TARGET.is_data_movement
+        assert not TaskKind.CLASSICAL.is_data_movement

@@ -1,0 +1,180 @@
+"""Property-based tests for the data manager and schedulers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core.datamanager import HOST, DataManager
+from repro.core.scheduler import (
+    HeftScheduler,
+    MinLoadScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.omp import Buffer, OmpProgram
+from repro.omp.task import Dep, DepType, Task, TaskKind
+
+dep_types = st.sampled_from([DepType.IN, DepType.OUT, DepType.INOUT])
+clause = st.tuples(st.integers(min_value=0, max_value=3), dep_types)
+
+# A DM scenario: a sequence of (task clauses, executing node).
+dm_ops = st.lists(
+    st.tuples(
+        st.lists(clause, min_size=1, max_size=3),
+        st.integers(min_value=1, max_value=4),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestDataManagerInvariants:
+    @given(dm_ops)
+    @settings(deadline=None, max_examples=80)
+    def test_coherency_invariants_hold(self, ops):
+        """After any task sequence: latest is always a valid location,
+        location sets are never empty, and a written buffer's
+        authoritative copy is where it was last written (replicas may
+        be added by subsequent readers)."""
+        buffers = [Buffer(100, name=f"b{i}") for i in range(4)]
+        dm = DataManager()
+        last_written_at: dict[int, int] = {}
+        for task_id, (clauses, node) in enumerate(ops):
+            deps = tuple(Dep(buffers[bi], dt) for bi, dt in clauses)
+            task = Task(task_id=task_id, kind=TaskKind.TARGET, deps=deps)
+            moves, allocs = dm.plan_for_task(task, node)
+            for buf in allocs:
+                dm.commit_alloc(buf, node)
+            for move in moves:
+                assert move.dst == node
+                dm.commit_move(move)
+            # After planning+commit, every read buffer is resident.
+            for dep in task.deps:
+                assert dm.is_resident(dep.buffer, node)
+            dm.commit_task_done(task, node)
+            for buf in task.writes:
+                last_written_at[buf.buffer_id] = node
+
+        for buf in buffers:
+            locations = dm.locations(buf)
+            assert locations, f"{buf.name} has no valid copy anywhere"
+            assert dm.latest(buf) in locations
+            if buf.buffer_id in last_written_at:
+                node = last_written_at[buf.buffer_id]
+                assert node in locations
+                assert dm.latest(buf) == node
+
+    @given(dm_ops)
+    @settings(deadline=None, max_examples=50)
+    def test_exit_data_always_recovers_to_host(self, ops):
+        buffers = [Buffer(100, name=f"b{i}") for i in range(4)]
+        dm = DataManager()
+        for task_id, (clauses, node) in enumerate(ops):
+            deps = tuple(Dep(buffers[bi], dt) for bi, dt in clauses)
+            task = Task(task_id=task_id, kind=TaskKind.TARGET, deps=deps)
+            moves, allocs = dm.plan_for_task(task, node)
+            for buf in allocs:
+                dm.commit_alloc(buf, node)
+            for move in moves:
+                dm.commit_move(move)
+            dm.commit_task_done(task, node)
+        for buf in buffers:
+            for move in dm.plan_exit_data(buf):
+                dm.commit_move(move)
+            dm.commit_exit_data(buf)
+            assert dm.locations(buf) == {HOST}
+            assert dm.latest(buf) == HOST
+
+    @given(
+        dm_ops,
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_failure_never_leaves_dangling_latest(self, ops, dead_node):
+        buffers = [Buffer(100, name=f"b{i}") for i in range(4)]
+        dm = DataManager()
+        for task_id, (clauses, node) in enumerate(ops):
+            deps = tuple(Dep(buffers[bi], dt) for bi, dt in clauses)
+            task = Task(task_id=task_id, kind=TaskKind.TARGET, deps=deps)
+            moves, allocs = dm.plan_for_task(task, node)
+            for buf in allocs:
+                dm.commit_alloc(buf, node)
+            for move in moves:
+                dm.commit_move(move)
+            dm.commit_task_done(task, node)
+        lost = dm.on_node_failure(dead_node)
+        for buf in buffers:
+            locations = dm.locations(buf)
+            assert dead_node not in locations
+            if locations:
+                assert dm.latest(buf) in locations
+            else:
+                assert buf in lost
+
+
+# Random programs for scheduler properties.
+program_strategy = st.lists(
+    st.tuples(
+        st.lists(clause, min_size=1, max_size=3),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.sampled_from(["target", "classical"]),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def build_program(spec):
+    prog = OmpProgram()
+    buffers = [prog.buffer(100, name=f"b{i}") for i in range(4)]
+    for clauses, cost, kind in spec:
+        deps = [Dep(buffers[bi], dt) for bi, dt in clauses]
+        if kind == "classical":
+            prog.task(depend=deps, cost=cost)
+        else:
+            prog.target(depend=deps, cost=cost)
+    return prog
+
+
+SCHEDULERS = [
+    HeftScheduler(),
+    HeftScheduler(exec_slots_per_node=1),
+    RoundRobinScheduler(),
+    RandomScheduler(seed=1),
+    MinLoadScheduler(),
+]
+
+
+class TestSchedulerInvariants:
+    @given(program_strategy, st.integers(min_value=2, max_value=6))
+    @settings(deadline=None, max_examples=40)
+    def test_every_scheduler_assigns_every_task_validly(self, spec, nodes):
+        prog = build_program(spec)
+        cluster = Cluster(ClusterSpec(num_nodes=nodes))
+        for scheduler in SCHEDULERS:
+            sched = scheduler.schedule(prog.graph, cluster)
+            for task in prog.graph.tasks():
+                node = sched.assignment[task.task_id]
+                assert 0 <= node < nodes
+                if task.kind == TaskKind.CLASSICAL:
+                    assert node == HOST
+                elif task.kind == TaskKind.TARGET and nodes > 1:
+                    assert node != HOST
+
+    @given(program_strategy)
+    @settings(deadline=None, max_examples=30)
+    def test_heft_planned_intervals_consistent_with_edges(self, spec):
+        prog = build_program(spec)
+        cluster = Cluster(ClusterSpec(num_nodes=4))
+        sched = HeftScheduler().schedule(prog.graph, cluster)
+        for pred, succ in prog.graph.edges():
+            if (
+                pred.task_id in sched.planned
+                and succ.task_id in sched.planned
+            ):
+                # A successor never *starts* before its predecessor
+                # finishes (communication may add more on top).
+                assert (
+                    sched.planned[succ.task_id][0]
+                    >= sched.planned[pred.task_id][1] - 1e-9
+                )

@@ -1,0 +1,125 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+@settings(deadline=None)
+def test_timeouts_fire_in_order(delays):
+    """Events fire in nondecreasing time order; clock never goes back."""
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.timeout(d).add_callback(lambda ev, d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert sim.now == max(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20
+    )
+)
+@settings(deadline=None)
+def test_process_sequential_delays_sum(delays):
+    """A process sleeping through a list of delays ends at their sum."""
+    sim = Simulator()
+
+    def proc():
+        for d in delays:
+            yield sim.timeout(d)
+        return sim.now
+
+    p = sim.process(proc())
+    total = sim.run(until=p)
+    assert abs(total - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(
+        st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=25
+    ),
+)
+@settings(deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    """Concurrent holders never exceed capacity; all eventually run."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    active = [0]
+    peak = [0]
+    completed = [0]
+
+    def user(duration):
+        yield res.request()
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        try:
+            yield sim.timeout(duration)
+        finally:
+            active[0] -= 1
+            res.release()
+        completed[0] += 1
+
+    for d in holds:
+        sim.process(user(d))
+    sim.run(check_deadlock=True)
+    assert peak[0] <= capacity
+    assert completed[0] == len(holds)
+    assert res.in_use == 0
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=50))
+@settings(deadline=None)
+def test_store_is_fifo(items):
+    """Unfiltered gets return items in exactly the order they were put."""
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            received.append((yield store.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run(check_deadlock=True)
+    assert received == items
+
+
+@given(
+    items=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=30),
+)
+@settings(deadline=None)
+def test_filtered_store_conserves_items(items):
+    """Filtered consumption partitions the stream without loss."""
+    sim = Simulator()
+    store = Store(sim)
+    evens, odds = [], []
+    n_even = sum(1 for i in items if i % 2 == 0)
+    n_odd = len(items) - n_even
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer(want_even, out, count):
+        for _ in range(count):
+            item = yield store.get(lambda it: (it % 2 == 0) == want_even)
+            out.append(item)
+
+    sim.process(producer())
+    sim.process(consumer(True, evens, n_even))
+    sim.process(consumer(False, odds, n_odd))
+    sim.run(check_deadlock=True)
+    assert sorted(evens + odds) == sorted(items)
+    assert evens == [i for i in items if i % 2 == 0]
+    assert odds == [i for i in items if i % 2 == 1]

@@ -1,0 +1,62 @@
+"""Tests for partitioning helpers and calibration constants."""
+
+import pytest
+
+from repro.runtimes.base import block_owner, points_of
+from repro.runtimes.calibration import CHARM, MPI_SYNC, STARPU, RuntimeCosts
+
+
+class TestBlockOwner:
+    def test_even_partition(self):
+        owners = [block_owner(p, 8, 4) for p in range(8)]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven_partition_front_loads(self):
+        owners = [block_owner(p, 7, 3) for p in range(7)]
+        # 3 + 2 + 2
+        assert owners == [0, 0, 0, 1, 1, 2, 2]
+
+    def test_more_nodes_than_points(self):
+        owners = [block_owner(p, 3, 8) for p in range(3)]
+        assert owners == [0, 1, 2]
+
+    def test_points_of_inverse(self):
+        width, n = 13, 5
+        seen = []
+        for node in range(n):
+            pts = points_of(node, width, n)
+            for p in pts:
+                assert block_owner(p, width, n) == node
+            seen.extend(pts)
+        assert sorted(seen) == list(range(width))
+
+    def test_contiguity(self):
+        for node in range(4):
+            pts = points_of(node, 10, 4)
+            assert pts == list(range(min(pts), max(pts) + 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_owner(9, 8, 2)
+        with pytest.raises(ValueError):
+            block_owner(0, 8, 0)
+
+
+class TestCalibration:
+    def test_mpi_is_zero_copy(self):
+        assert MPI_SYNC.copy_bandwidth is None
+        assert MPI_SYNC.copy_time(1e9) == 0.0
+
+    def test_starpu_has_per_task_overhead(self):
+        assert STARPU.per_task_overhead > MPI_SYNC.per_task_overhead
+        assert STARPU.copy_bandwidth is None
+
+    def test_charm_pays_copies(self):
+        assert CHARM.copy_bandwidth is not None
+        assert CHARM.copy_time(8e9) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeCosts(per_message_overhead=-1)
+        with pytest.raises(ValueError):
+            RuntimeCosts(copy_bandwidth=0.0)

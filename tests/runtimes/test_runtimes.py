@@ -1,0 +1,163 @@
+"""Integration tests for the four Task Bench runtimes."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.runtimes import (
+    CharmLikeRuntime,
+    MpiSyncRuntime,
+    OmpcRuntimeAdapter,
+    StarPULikeRuntime,
+    all_runtimes,
+)
+from repro.runtimes.calibration import RuntimeCosts
+from repro.taskbench import KernelSpec, Pattern, TaskBenchSpec
+from repro.util.units import Gbps
+
+BW = Gbps(100.0)
+
+
+def spec_for(pattern, width=8, steps=4, duration=0.01, ccr=1.0):
+    return TaskBenchSpec.with_ccr(
+        width, steps, pattern, KernelSpec.from_duration(duration), ccr, BW
+    )
+
+
+ALL_RUNTIMES = [MpiSyncRuntime(), StarPULikeRuntime(), CharmLikeRuntime(),
+                OmpcRuntimeAdapter()]
+
+
+class TestAllRuntimes:
+    @pytest.mark.parametrize("runtime", ALL_RUNTIMES, ids=lambda r: r.name)
+    @pytest.mark.parametrize("pattern", list(Pattern.paper_patterns()),
+                             ids=lambda p: p.value)
+    def test_completes_with_sane_makespan(self, runtime, pattern):
+        spec = spec_for(pattern)
+        res = runtime.run(spec, ClusterSpec(num_nodes=4))
+        # Lower bound: the per-point serial chain (4 steps x 10ms).
+        assert res.makespan >= 4 * 0.01 - 1e-9
+        # Upper bound: fully serial execution of all tasks plus slack.
+        assert res.makespan < 32 * 0.01 + 1.0
+
+    @pytest.mark.parametrize("runtime", ALL_RUNTIMES, ids=lambda r: r.name)
+    def test_deterministic(self, runtime):
+        spec = spec_for(Pattern.STENCIL_1D)
+        r1 = runtime.run(spec, ClusterSpec(num_nodes=4))
+        r2 = runtime.run(spec, ClusterSpec(num_nodes=4))
+        assert r1.makespan == r2.makespan
+
+    @pytest.mark.parametrize("runtime", ALL_RUNTIMES, ids=lambda r: r.name)
+    def test_trivial_moves_no_data(self, runtime):
+        spec = spec_for(Pattern.TRIVIAL)
+        res = runtime.run(spec, ClusterSpec(num_nodes=4))
+        # No dependences -> no halo payloads. OMPC control messages are
+        # tiny; everything else should be zero.
+        assert res.network_bytes < 100_000
+
+    def test_all_runtimes_factory(self):
+        names = [rt.name for rt in all_runtimes()]
+        assert names == ["OMPC", "Charm++", "StarPU", "MPI"]
+
+
+class TestMpiSync:
+    def test_bsp_step_accumulation(self):
+        # no_comm: chains without cross-point deps; per step = compute.
+        spec = spec_for(Pattern.NO_COMM, width=4, steps=5, duration=0.02)
+        res = MpiSyncRuntime().run(spec, ClusterSpec(num_nodes=4))
+        assert res.makespan == pytest.approx(5 * 0.02, rel=0.05)
+
+    def test_halo_messages_counted(self):
+        spec = spec_for(Pattern.STENCIL_1D, width=8, steps=4)
+        res = MpiSyncRuntime().run(spec, ClusterSpec(num_nodes=4))
+        # 3 inter-step exchanges x 3 boundaries x 2 directions = 18 msgs.
+        assert res.network_messages == 18
+
+    def test_single_node_no_network(self):
+        spec = spec_for(Pattern.STENCIL_1D)
+        res = MpiSyncRuntime().run(spec, ClusterSpec(num_nodes=1))
+        assert res.network_bytes == 0
+
+    def test_comm_adds_to_step_time(self):
+        fast = spec_for(Pattern.STENCIL_1D, duration=0.01, ccr=100.0)
+        slow = spec_for(Pattern.STENCIL_1D, duration=0.01, ccr=0.1)
+        r_fast = MpiSyncRuntime().run(fast, ClusterSpec(num_nodes=4))
+        r_slow = MpiSyncRuntime().run(slow, ClusterSpec(num_nodes=4))
+        assert r_slow.makespan > r_fast.makespan * 2
+
+
+class TestDataflowRuntimes:
+    def test_starpu_tracks_mpi_closely(self):
+        # StarPU's dataflow pipelining keeps it within a few percent of
+        # the hand-written MPI schedule; its per-task runtime overhead
+        # is the only structural cost separating them.
+        spec = spec_for(Pattern.TREE, width=16, steps=8, duration=0.02)
+        mpi = MpiSyncRuntime().run(spec, ClusterSpec(num_nodes=8))
+        sp = StarPULikeRuntime().run(spec, ClusterSpec(num_nodes=8))
+        assert sp.makespan < mpi.makespan * 1.10
+        assert sp.makespan > mpi.makespan * 0.80
+
+    def test_charm_copy_cost_hurts_at_low_ccr(self):
+        low = spec_for(Pattern.STENCIL_1D, duration=0.02, ccr=0.5)
+        high = spec_for(Pattern.STENCIL_1D, duration=0.02, ccr=4.0)
+        charm_low = CharmLikeRuntime().run(low, ClusterSpec(num_nodes=4))
+        charm_high = CharmLikeRuntime().run(high, ClusterSpec(num_nodes=4))
+        mpi_low = MpiSyncRuntime().run(low, ClusterSpec(num_nodes=4))
+        mpi_high = MpiSyncRuntime().run(high, ClusterSpec(num_nodes=4))
+        # Charm++'s penalty versus MPI grows as communication dominates.
+        assert (charm_low.makespan / mpi_low.makespan) > (
+            charm_high.makespan / mpi_high.makespan
+        )
+
+    def test_zero_copy_costs_unused(self):
+        # A dataflow runtime with MPI-like costs approaches raw wire time.
+        thin = StarPULikeRuntime(RuntimeCosts())
+        spec = spec_for(Pattern.NO_COMM, width=4, steps=3, duration=0.01)
+        res = thin.run(spec, ClusterSpec(num_nodes=4))
+        assert res.makespan == pytest.approx(0.03, rel=0.02)
+
+
+class TestOmpcAdapter:
+    def test_extras_carry_overheads(self):
+        spec = spec_for(Pattern.STENCIL_1D)
+        res = OmpcRuntimeAdapter().run(spec, ClusterSpec(num_nodes=4))
+        assert res.extras["startup"] > 0
+        assert res.extras["shutdown"] > 0
+        assert "counters" in res.extras
+
+    def test_head_thread_limit_shows_in_makespan(self):
+        from repro.core.config import OMPCConfig
+
+        spec = spec_for(Pattern.TRIVIAL, width=16, steps=2, duration=0.05)
+        wide = OmpcRuntimeAdapter(OMPCConfig(head_threads=64)).run(
+            spec, ClusterSpec(num_nodes=17)
+        )
+        narrow = OmpcRuntimeAdapter(OMPCConfig(head_threads=4)).run(
+            spec, ClusterSpec(num_nodes=17)
+        )
+        assert narrow.makespan > wide.makespan * 1.5
+
+
+class TestPaperShapes:
+    """The qualitative relations of Figs. 5-6 at reduced scale."""
+
+    def test_ordering_at_ccr_one(self):
+        spec = TaskBenchSpec.with_ccr(
+            8, 8, Pattern.STENCIL_1D, KernelSpec.from_duration(0.05), 1.0, BW
+        )
+        cs = ClusterSpec(num_nodes=8)
+        mpi = MpiSyncRuntime().run(spec, cs).makespan
+        starpu = StarPULikeRuntime().run(spec, cs).makespan
+        ompc = OmpcRuntimeAdapter().run(spec, cs).makespan
+        charm = CharmLikeRuntime().run(spec, cs).makespan
+        assert mpi <= starpu * 1.01
+        assert starpu < ompc
+        assert ompc < charm
+
+    def test_ompc_beats_charm_on_tree(self):
+        spec = TaskBenchSpec.with_ccr(
+            8, 8, Pattern.TREE, KernelSpec.from_duration(0.05), 1.0, BW
+        )
+        cs = ClusterSpec(num_nodes=8)
+        ompc = OmpcRuntimeAdapter().run(spec, cs).makespan
+        charm = CharmLikeRuntime().run(spec, cs).makespan
+        assert charm > ompc

@@ -1,0 +1,273 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import DeadlockError, Event, Interrupt, Simulator
+from repro.sim.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_initial_state(self, sim):
+        ev = sim.event("x")
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.value == 42
+        assert ev.ok
+
+    def test_fail_carries_exception(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        assert ev.triggered
+        assert not ev.ok
+        assert isinstance(ev.value, RuntimeError)
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError())
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed(7)
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+
+class TestTimeAdvance:
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(5.0)
+        assert sim.run() == 5.0
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_same_time_fifo_order(self, sim):
+        order = []
+        for i in range(5):
+            ev = sim.timeout(1.0)
+            ev.add_callback(lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_time_stops_early(self, sim):
+        fired = []
+        sim.timeout(10.0).add_callback(lambda e: fired.append(1))
+        assert sim.run(until=5.0) == 5.0
+        assert fired == []
+        sim.run()
+        assert fired == [1]
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(3.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+
+class TestProcess:
+    def test_process_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "done"
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == "done"
+        assert sim.now == 1.0
+
+    def test_sequential_waits_accumulate_time(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.5)
+            return sim.now
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == 3.5
+
+    def test_process_receives_event_value(self, sim):
+        ev = sim.event()
+
+        def trigger():
+            yield sim.timeout(2.0)
+            ev.succeed("hello")
+
+        def waiter():
+            value = yield ev
+            return value
+
+        sim.process(trigger())
+        p = sim.process(waiter())
+        assert sim.run(until=p) == "hello"
+
+    def test_failed_event_raises_in_process(self, sim):
+        ev = sim.event()
+
+        def trigger():
+            yield sim.timeout(1.0)
+            ev.fail(ValueError("nope"))
+
+        def waiter():
+            try:
+                yield ev
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        sim.process(trigger())
+        p = sim.process(waiter())
+        assert sim.run(until=p) == "caught nope"
+
+    def test_unhandled_process_exception_crashes_run(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        sim.process(proc())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            sim.run()
+
+    def test_waited_process_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except RuntimeError:
+                return "observed"
+
+        p = sim.process(parent())
+        assert sim.run(until=p) == "observed"
+
+    def test_yield_non_event_is_error(self, sim):
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="must yield Events"):
+            sim.run()
+
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_waiting_on_process_result(self, sim):
+        def child():
+            yield sim.timeout(3.0)
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        p = sim.process(parent())
+        assert sim.run(until=p) == 100
+
+    def test_many_processes_interleave_deterministically(self, sim):
+        log = []
+
+        def worker(wid, delay):
+            yield sim.timeout(delay)
+            log.append((sim.now, wid))
+            yield sim.timeout(delay)
+            log.append((sim.now, wid))
+
+        for wid, delay in enumerate([3.0, 1.0, 2.0]):
+            sim.process(worker(wid, delay))
+        sim.run()
+        # At t=2.0 worker 2's first timeout (scheduled at t=0) precedes
+        # worker 1's second (scheduled at t=1): earlier insertion wins.
+        assert log == [(1.0, 1), (2.0, 2), (2.0, 1), (3.0, 0), (4.0, 2), (6.0, 0)]
+
+
+class TestInterrupt:
+    def test_interrupt_raises_inside_process(self, sim):
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                return f"interrupted: {intr.cause}"
+
+        p = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(1.0)
+            p.interrupt("node failure")
+
+        sim.process(killer())
+        assert sim.run(until=p) == "interrupted: node failure"
+        assert sim.now == 1.0
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def quick():
+            yield sim.timeout(0.5)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_uncaught_interrupt_kills_process(self, sim):
+        def victim():
+            yield sim.timeout(100.0)
+
+        p = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(1.0)
+            p.interrupt("bye")
+
+        sim.process(killer())
+        with pytest.raises(Interrupt):
+            sim.run()
+        assert p.triggered and not p.ok
+
+
+class TestDeadlockDetection:
+    def test_waiting_on_never_triggered_event_deadlocks(self, sim):
+        ev = sim.event()
+
+        def stuck():
+            yield ev
+
+        p = sim.process(stuck(), name="stuck-proc")
+        with pytest.raises(DeadlockError, match="stuck-proc"):
+            sim.run(until=p)
+
+    def test_check_deadlock_flag(self, sim):
+        def stuck():
+            yield sim.event()
+
+        sim.process(stuck())
+        with pytest.raises(DeadlockError):
+            sim.run(check_deadlock=True)
+
+    def test_clean_completion_no_deadlock(self, sim):
+        def fine():
+            yield sim.timeout(1.0)
+
+        sim.process(fine())
+        assert sim.run(check_deadlock=True) == 1.0

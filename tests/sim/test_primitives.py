@@ -1,0 +1,96 @@
+"""Tests for composite waiting primitives (AllOf/AnyOf/Condition)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Condition, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestAllOf:
+    def test_fires_at_latest_child(self, sim):
+        evs = [sim.timeout(t, value=t) for t in (1.0, 3.0, 2.0)]
+
+        def waiter():
+            results = yield AllOf(sim, evs)
+            return sorted(results.values())
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+
+    def test_empty_all_fires_immediately(self, sim):
+        def waiter():
+            results = yield AllOf(sim, [])
+            return results
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == {}
+        assert sim.now == 0.0
+
+    def test_child_failure_fails_condition(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+
+        def failer():
+            yield sim.timeout(0.5)
+            bad.fail(RuntimeError("child broke"))
+
+        def waiter():
+            try:
+                yield AllOf(sim, [good, bad])
+            except RuntimeError:
+                return "failed"
+
+        sim.process(failer())
+        p = sim.process(waiter())
+        assert sim.run(until=p) == "failed"
+
+
+class TestAnyOf:
+    def test_fires_at_earliest_child(self, sim):
+        evs = [sim.timeout(t, value=t) for t in (5.0, 1.0, 3.0)]
+
+        def waiter():
+            results = yield AnyOf(sim, evs)
+            return list(results.values())
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == [1.0]
+        assert sim.now == 1.0
+
+    def test_empty_any_fires_immediately(self, sim):
+        def waiter():
+            results = yield AnyOf(sim, [])
+            return results
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == {}
+
+
+class TestCondition:
+    def test_need_k_of_n(self, sim):
+        evs = [sim.timeout(t) for t in (1.0, 2.0, 3.0, 4.0)]
+
+        def waiter():
+            yield Condition(sim, evs, need=2)
+            return sim.now
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == 2.0
+
+    def test_need_out_of_range(self, sim):
+        with pytest.raises(ValueError):
+            Condition(sim, [sim.event()], need=2)
+        with pytest.raises(ValueError):
+            Condition(sim, [sim.event()], need=-1)
+
+    def test_late_children_do_not_retrigger(self, sim):
+        evs = [sim.timeout(1.0), sim.timeout(2.0)]
+        cond = Condition(sim, evs, need=1)
+        sim.run()
+        assert cond.ok
+        assert len(cond.value) == 1

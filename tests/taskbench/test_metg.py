@@ -1,0 +1,68 @@
+"""Tests for the METG (minimum effective task granularity) search."""
+
+import pytest
+
+from repro.runtimes import MpiSyncRuntime, OmpcRuntimeAdapter
+from repro.taskbench import Pattern
+from repro.taskbench.metg import MetgResult, efficiency, find_metg
+
+
+class TestEfficiency:
+    def test_large_tasks_are_efficient(self):
+        e = efficiency(
+            MpiSyncRuntime(), Pattern.NO_COMM, nodes=4, duration=1.0,
+            width=8, steps=4, ccr=4.0, bandwidth=12.5e9,
+        )
+        assert e > 0.95
+
+    def test_tiny_tasks_inefficient_on_ompc(self):
+        # OMPC's ~20-25 ms constant overhead dwarfs microsecond tasks.
+        e = efficiency(
+            OmpcRuntimeAdapter(), Pattern.NO_COMM, nodes=4, duration=1e-5,
+            width=8, steps=4, ccr=4.0, bandwidth=12.5e9,
+        )
+        assert e < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            efficiency(
+                MpiSyncRuntime(), Pattern.NO_COMM, 4, 0.0, 8, 4, 4.0, 1e9
+            )
+
+
+class TestFindMetg:
+    def test_mpi_metg_below_ompc_metg(self):
+        """The thin MPI baseline tolerates much finer tasks than OMPC —
+        the granularity story of Fig. 7a in one comparison."""
+        kwargs = dict(pattern=Pattern.NO_COMM, nodes=4, steps=4, ccr=4.0)
+        mpi = find_metg(MpiSyncRuntime(), **kwargs)
+        ompc = find_metg(OmpcRuntimeAdapter(), **kwargs)
+        assert mpi.metg_seconds < ompc.metg_seconds
+        # OMPC's METG sits in the single-digit-millisecond range, in
+        # line with the paper's "10 ms per task seems like a reasonable
+        # lower bound" observation.
+        assert 1e-4 < ompc.metg_seconds < 0.05
+
+    def test_result_is_actually_effective(self):
+        res = find_metg(
+            OmpcRuntimeAdapter(), Pattern.NO_COMM, nodes=4, steps=4, ccr=4.0
+        )
+        e = efficiency(
+            OmpcRuntimeAdapter(), Pattern.NO_COMM, 4, res.metg_seconds,
+            width=8, steps=4, ccr=4.0, bandwidth=12.5e9,
+        )
+        assert e >= res.target_efficiency - 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_metg(MpiSyncRuntime(), Pattern.NO_COMM, 4, target=0.0)
+        with pytest.raises(ValueError):
+            find_metg(MpiSyncRuntime(), Pattern.NO_COMM, 4, lo=1.0, hi=0.5)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError, match="never reaches"):
+            # 100% efficiency is unreachable once any overhead exists.
+            find_metg(
+                OmpcRuntimeAdapter(), Pattern.NO_COMM, nodes=4, steps=4,
+                ccr=4.0, target=1.0, hi=0.5,
+            )

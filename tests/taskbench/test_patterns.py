@@ -1,0 +1,158 @@
+"""Tests for Task Bench dependency patterns (Fig. 4)."""
+
+import pytest
+
+from repro.taskbench import Pattern, dependencies, dependents
+from repro.taskbench.patterns import average_in_degree
+
+
+class TestBasics:
+    def test_first_step_has_no_dependences(self):
+        for pattern in Pattern:
+            assert dependencies(pattern, 8, 0, 3) == ()
+
+    def test_paper_patterns(self):
+        assert Pattern.paper_patterns() == (
+            Pattern.TRIVIAL,
+            Pattern.STENCIL_1D,
+            Pattern.FFT,
+            Pattern.TREE,
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"width": 0, "step": 0, "point": 0},
+            {"width": 4, "step": -1, "point": 0},
+            {"width": 4, "step": 0, "point": 4},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            dependencies(Pattern.TRIVIAL, **kwargs)
+
+    def test_fft_requires_pow2_width(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            dependencies(Pattern.FFT, 6, 1, 0)
+
+
+class TestTrivial:
+    def test_never_any_deps(self):
+        for step in range(5):
+            for p in range(8):
+                assert dependencies(Pattern.TRIVIAL, 8, step, p) == ()
+
+
+class TestNoComm:
+    def test_serial_chains(self):
+        assert dependencies(Pattern.NO_COMM, 8, 3, 5) == (5,)
+
+
+class TestStencil:
+    def test_interior_point(self):
+        assert dependencies(Pattern.STENCIL_1D, 8, 1, 4) == (3, 4, 5)
+
+    def test_boundaries_clamped(self):
+        assert dependencies(Pattern.STENCIL_1D, 8, 1, 0) == (0, 1)
+        assert dependencies(Pattern.STENCIL_1D, 8, 1, 7) == (6, 7)
+
+    def test_width_one(self):
+        assert dependencies(Pattern.STENCIL_1D, 1, 1, 0) == (0,)
+
+    def test_periodic_wraps(self):
+        assert dependencies(Pattern.STENCIL_1D_PERIODIC, 8, 1, 0) == (0, 1, 7)
+        assert dependencies(Pattern.STENCIL_1D_PERIODIC, 8, 1, 7) == (0, 6, 7)
+        assert dependencies(Pattern.STENCIL_1D_PERIODIC, 8, 1, 4) == (3, 4, 5)
+
+
+class TestFft:
+    def test_butterfly_strides_double(self):
+        # width 8 -> log2 = 3; strides cycle 1, 2, 4, 1, 2, 4, ...
+        assert dependencies(Pattern.FFT, 8, 1, 0) == (0, 1)
+        assert dependencies(Pattern.FFT, 8, 2, 0) == (0, 2)
+        assert dependencies(Pattern.FFT, 8, 3, 0) == (0, 4)
+        assert dependencies(Pattern.FFT, 8, 4, 0) == (0, 1)
+
+    def test_partner_symmetry(self):
+        for step in range(1, 6):
+            for p in range(8):
+                deps = dependencies(Pattern.FFT, 8, step, p)
+                partner = [q for q in deps if q != p]
+                assert len(partner) == 1
+                # The partnership is mutual.
+                assert p in dependencies(Pattern.FFT, 8, step, partner[0])
+
+    def test_width_one_fft(self):
+        assert dependencies(Pattern.FFT, 1, 3, 0) == (0,)
+
+
+class TestTree:
+    def test_binary_fanout(self):
+        assert dependencies(Pattern.TREE, 8, 1, 0) == (0,)
+        assert dependencies(Pattern.TREE, 8, 1, 5) == (2,)
+        assert dependencies(Pattern.TREE, 8, 1, 7) == (3,)
+
+    def test_each_parent_feeds_two_children(self):
+        kids = dependents(Pattern.TREE, 8, 0, 2)
+        assert kids == (4, 5)
+
+
+class TestAllToAll:
+    def test_depends_on_every_point(self):
+        assert dependencies(Pattern.ALL_TO_ALL, 4, 2, 1) == (0, 1, 2, 3)
+
+
+class TestNearest:
+    def test_radius_two_interior(self):
+        assert dependencies(Pattern.NEAREST, 10, 1, 5) == (3, 4, 5, 6, 7)
+
+    def test_boundaries_clipped(self):
+        assert dependencies(Pattern.NEAREST, 10, 1, 0) == (0, 1, 2)
+        assert dependencies(Pattern.NEAREST, 10, 1, 9) == (7, 8, 9)
+
+
+class TestSpread:
+    def test_three_spread_deps(self):
+        deps = dependencies(Pattern.SPREAD, 9, 1, 0)
+        assert len(deps) == 3
+        assert all(0 <= d < 9 for d in deps)
+
+    def test_rotates_with_step(self):
+        d1 = dependencies(Pattern.SPREAD, 9, 1, 0)
+        d2 = dependencies(Pattern.SPREAD, 9, 2, 0)
+        assert d1 != d2
+
+    def test_small_width_degenerates(self):
+        assert dependencies(Pattern.SPREAD, 1, 3, 0) == (0,)
+
+
+class TestDependents:
+    @pytest.mark.parametrize("pattern", list(Pattern))
+    @pytest.mark.parametrize("width", [1, 2, 8])
+    def test_inverse_of_dependencies(self, pattern, width):
+        if pattern == Pattern.FFT and width == 1:
+            pytest.skip("degenerate")
+        for step in range(3):
+            for producer in range(width):
+                for consumer in dependents(pattern, width, step, producer):
+                    assert producer in dependencies(
+                        pattern, width, step + 1, consumer
+                    )
+
+    def test_stencil_dependents(self):
+        assert dependents(Pattern.STENCIL_1D, 8, 0, 4) == (3, 4, 5)
+
+
+class TestAverageInDegree:
+    def test_trivial_zero(self):
+        assert average_in_degree(Pattern.TRIVIAL, 8, 10) == 0.0
+
+    def test_no_comm_one(self):
+        assert average_in_degree(Pattern.NO_COMM, 8, 10) == 1.0
+
+    def test_stencil_under_three(self):
+        d = average_in_degree(Pattern.STENCIL_1D, 8, 10)
+        assert 2.5 < d < 3.0
+
+    def test_single_step_zero(self):
+        assert average_in_degree(Pattern.STENCIL_1D, 8, 1) == 0.0

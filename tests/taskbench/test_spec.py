@@ -1,0 +1,134 @@
+"""Tests for kernel calibration, spec construction, and program building."""
+
+import pytest
+
+from repro.omp.task import DepType, TaskKind
+from repro.taskbench import (
+    KernelSpec,
+    Pattern,
+    TaskBenchSpec,
+    build_omp_program,
+)
+
+
+class TestKernelSpec:
+    def test_paper_calibration_points(self):
+        assert KernelSpec.paper_50ms().duration == pytest.approx(0.050)
+        assert KernelSpec.paper_500ms().duration == pytest.approx(0.500)
+
+    def test_from_duration_roundtrip(self):
+        k = KernelSpec.from_duration(0.010)
+        assert k.duration == pytest.approx(0.010)
+        assert k.iterations == 2_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec(iterations=-1)
+        with pytest.raises(ValueError):
+            KernelSpec(iterations=1, seconds_per_iteration=0.0)
+        with pytest.raises(ValueError):
+            KernelSpec.from_duration(-1.0)
+
+
+class TestTaskBenchSpec:
+    def test_counts(self):
+        spec = TaskBenchSpec(8, 4, Pattern.STENCIL_1D, KernelSpec(1000))
+        assert spec.total_tasks == 32
+        assert len(list(spec.tasks())) == 32
+        # 3 interior steps x (6 interior points x 3 + 2 boundary x 2).
+        assert spec.total_edges == 3 * (6 * 3 + 2 * 2)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            TaskBenchSpec(0, 4, Pattern.TRIVIAL, KernelSpec(1))
+        with pytest.raises(ValueError):
+            TaskBenchSpec(4, 0, Pattern.TRIVIAL, KernelSpec(1))
+        with pytest.raises(ValueError):
+            TaskBenchSpec(4, 4, Pattern.TRIVIAL, KernelSpec(1), output_bytes=-5)
+
+    def test_fft_width_validated_at_construction(self):
+        with pytest.raises(ValueError):
+            TaskBenchSpec(6, 4, Pattern.FFT, KernelSpec(1))
+
+    def test_with_ccr_balances_comm_and_comp(self):
+        bw = 12.5e9
+        kernel = KernelSpec.paper_500ms()
+        spec = TaskBenchSpec.with_ccr(
+            16, 16, Pattern.NO_COMM, kernel, ccr=1.0, bandwidth=bw
+        )
+        # in-degree exactly 1: per-task comm time must equal duration.
+        assert spec.output_bytes / bw == pytest.approx(kernel.duration)
+
+    def test_with_ccr_scales_inversely(self):
+        bw = 12.5e9
+        kernel = KernelSpec.paper_500ms()
+        half = TaskBenchSpec.with_ccr(16, 16, Pattern.STENCIL_1D, kernel, 0.5, bw)
+        two = TaskBenchSpec.with_ccr(16, 16, Pattern.STENCIL_1D, kernel, 2.0, bw)
+        assert half.output_bytes == pytest.approx(4 * two.output_bytes)
+
+    def test_with_ccr_trivial_no_bytes(self):
+        spec = TaskBenchSpec.with_ccr(
+            16, 16, Pattern.TRIVIAL, KernelSpec(1), 1.0, 1e9
+        )
+        assert spec.output_bytes == 0.0
+
+    def test_with_ccr_validation(self):
+        with pytest.raises(ValueError):
+            TaskBenchSpec.with_ccr(4, 4, Pattern.TRIVIAL, KernelSpec(1), 0.0, 1e9)
+        with pytest.raises(ValueError):
+            TaskBenchSpec.with_ccr(4, 4, Pattern.TRIVIAL, KernelSpec(1), 1.0, 0.0)
+
+    def test_describe(self):
+        spec = TaskBenchSpec(8, 4, Pattern.FFT, KernelSpec.paper_50ms())
+        text = spec.describe()
+        assert "fft" in text and "8x4" in text
+
+
+class TestBuildOmpProgram:
+    def test_task_count_and_kinds(self):
+        spec = TaskBenchSpec(4, 3, Pattern.STENCIL_1D, KernelSpec(1000), 100.0)
+        prog = build_omp_program(spec)
+        prog.validate()
+        tasks = list(prog.graph.tasks())
+        assert len(tasks) == 12
+        assert all(t.kind == TaskKind.TARGET for t in tasks)
+        assert len(prog.buffers) == 8  # two generations per point
+
+    def test_edges_match_pattern_plus_war(self):
+        spec = TaskBenchSpec(4, 3, Pattern.NO_COMM, KernelSpec(10), 10.0)
+        prog = build_omp_program(spec)
+        # Chains: p(t) reads p(t-1) output. RAW edges: width*(steps-1)=8.
+        # WAR edges: task (t,p) writes the buffer read at t-1 -> another
+        # 4 edges for t=2 (t=1 writes parity-1 buffers, unread before).
+        graph = prog.graph
+        assert graph.num_edges >= 8
+
+    def test_deps_encode_pattern(self):
+        spec = TaskBenchSpec(8, 2, Pattern.STENCIL_1D, KernelSpec(10), 10.0)
+        prog = build_omp_program(spec)
+        t1p4 = next(t for t in prog.graph.tasks() if t.name == "t1p4")
+        read_names = sorted(
+            d.buffer.name for d in t1p4.deps if d.type == DepType.IN
+        )
+        assert read_names == ["p3g0", "p4g0", "p5g0"]
+        written = [d.buffer.name for d in t1p4.deps if d.type == DepType.OUT]
+        assert written == ["p4g1"]
+
+    def test_meta_records_grid_position(self):
+        spec = TaskBenchSpec(2, 2, Pattern.TRIVIAL, KernelSpec(10))
+        prog = build_omp_program(spec)
+        task = next(t for t in prog.graph.tasks() if t.name == "t1p1")
+        assert task.meta["step"] == 1 and task.meta["point"] == 1
+
+    def test_program_runs_on_ompc(self):
+        from repro.cluster import ClusterSpec
+        from repro.core import OMPCRuntime
+
+        spec = TaskBenchSpec(4, 4, Pattern.STENCIL_1D, KernelSpec.from_duration(0.01), 1000.0)
+        prog = build_omp_program(spec)
+        res = OMPCRuntime(ClusterSpec(num_nodes=3)).run(prog)
+        assert len(res.task_intervals) == 16
+        # Workers run points concurrently on their cores, so wall time is
+        # bounded below by the 4-step critical path (40ms) plus startup/
+        # shutdown, and must not balloon past ~2x that.
+        assert 0.06 < res.makespan < 0.12
