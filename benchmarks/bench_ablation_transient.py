@@ -1,0 +1,119 @@
+"""Transient-fault ablation: loss rate x checkpoint interval.
+
+The fail-stop ablation (``bench_ablation_faults``) prices crashes; this
+one prices the faults a runtime must *ride out*: how much simulated time
+does message loss cost once the reliable transport retransmits through
+it, and what does periodic checkpointing add on top?  A stencil-shaped
+graph keeps inter-node traffic high so the lossy fabric actually hurts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.cluster.machine import ClusterSpec
+from repro.core import FaultPlan, FaultTolerantRuntime, LinkLoss, OMPCConfig
+from repro.omp import OmpProgram
+from repro.omp.task import depend_in, depend_out
+
+
+def stencil_program(width: int = 4, steps: int = 3, cost: float = 0.02):
+    prog = OmpProgram("stencil")
+    cells = [np.full(64, float(i)) for i in range(width)]
+    bufs = [
+        prog.buffer(c.nbytes, data=c, name=f"c{i}")
+        for i, c in enumerate(cells)
+    ]
+    for buf in bufs:
+        prog.target_enter_data(buf)
+    cur = bufs
+    for step in range(steps):
+        nxt = []
+        for i in range(width):
+            out = prog.buffer(512, name=f"s{step}c{i}")
+            halo = sorted({max(i - 1, 0), i, min(i + 1, width - 1)})
+            prog.target(
+                depend=[depend_in(cur[j]) for j in halo] + [depend_out(out)],
+                cost=cost, name=f"s{step}t{i}",
+            )
+            nxt.append(out)
+        cur = nxt
+    prog.target_exit_data(*cur)
+    return prog
+
+
+def run_once(loss: float, checkpoint_interval: float, seed: int = 11):
+    cfg = OMPCConfig(checkpoint_interval=checkpoint_interval)
+    plan = (
+        FaultPlan(seed=seed, losses=[LinkLoss(probability=loss)])
+        if loss > 0 else None
+    )
+    rt = FaultTolerantRuntime(ClusterSpec(num_nodes=5), cfg)
+    return rt.run(stencil_program(), fault_plan=plan)
+
+
+class TestAblationTransient:
+    def test_bench_loss_costs_time_not_answers(self, benchmark):
+        def sweep():
+            out = {}
+            for loss in (0.0, 0.01, 0.05):
+                out[loss] = run_once(loss, 0.0)
+            return out
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        clean = results[0.0]
+        for loss in (0.01, 0.05):
+            res = results[loss]
+            # Loss is paid in retransmissions and makespan, never in
+            # failures or wrong detections.
+            assert res.makespan >= clean.makespan
+            assert res.failures == []
+            assert res.false_positive_detections == 0
+        assert results[0.05].transport["retransmissions"] >= 1
+
+    def test_bench_checkpoint_overhead_bounded(self, benchmark):
+        def sweep():
+            return {
+                interval: run_once(0.01, interval)
+                for interval in (0.0, 0.05, 0.02)
+            }
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        base = results[0.0]
+        for interval in (0.05, 0.02):
+            res = results[interval]
+            assert res.checkpoints_taken >= 1
+            # Checkpoint traffic is charged but must stay a modest tax.
+            assert res.makespan < base.makespan * 1.5
+
+
+def main() -> None:
+    rows = []
+    clean = run_once(0.0, 0.0)
+    for loss in (0.0, 0.001, 0.01, 0.05):
+        for interval in (0.0, 0.05, 0.02):
+            res = run_once(loss, interval)
+            overhead = (res.makespan / clean.makespan - 1.0) * 100.0
+            rows.append([
+                f"{loss * 100:g}%",
+                "off" if interval == 0 else f"{interval * 1e3:.0f}ms",
+                res.makespan,
+                f"{overhead:+.1f}%",
+                res.transport.get("retransmissions", 0),
+                res.checkpoints_taken,
+            ])
+    print(
+        format_table(
+            ["loss", "ckpt", "makespan (s)", "overhead", "retx", "ckpts"],
+            rows,
+            title=(
+                "Ablation T — transient faults: loss rate x checkpoint "
+                "interval (4x3 stencil, 4 workers)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,15 +7,30 @@ Awave-style workload (read-only model, independent shot tasks) on 6
 workers, kills two of them mid-run, and shows the system detect the
 failures, re-dispatch the lost shots, and still produce correct output.
 
+A second scenario turns the fabric hostile instead of killing anyone:
+2% of all messages are dropped, one worker sits behind a degraded link,
+and a node produces its output *in place* (INOUT) before its node dies —
+recoverable only because periodic checkpointing is on.  The reliable
+transport retransmits through the loss, and the suspect→confirm
+heartbeat protocol keeps the degraded-but-alive worker from being
+declared dead (the false-positive counter stays zero).
+
 Run:  python examples/fault_tolerance.py
 """
 
 import numpy as np
 
 from repro.cluster import ClusterSpec
-from repro.core import FaultTolerantRuntime, NodeFailure
+from repro.core import (
+    FaultPlan,
+    FaultTolerantRuntime,
+    LinkDegradation,
+    LinkLoss,
+    NodeFailure,
+    OMPCConfig,
+)
 from repro.omp import OmpProgram
-from repro.omp.task import depend_in, depend_out
+from repro.omp.task import depend_in, depend_inout, depend_out
 
 
 def build_workload(num_shots: int = 12):
@@ -37,6 +52,68 @@ def build_workload(num_shots: int = 12):
         )
     prog.target_exit_data(*out_bufs)
     return prog, model, outputs
+
+
+def build_inplace_workload(num_chains: int = 6):
+    """Chains whose values are built up *in place* (INOUT producers)."""
+    prog = OmpProgram("inplace-chains")
+    arrays, bufs = [], []
+    for i in range(num_chains):
+        arr = np.zeros(256)
+        arrays.append(arr)
+        buf = prog.buffer(arr.nbytes, data=arr, name=f"chain{i}")
+        bufs.append(buf)
+        prog.target_enter_data(buf)
+        for step in range(3):
+            prog.target(
+                fn=lambda x, k=i: np.add(x, k + 1.0, out=x),
+                depend=[depend_inout(buf)],
+                cost=0.08, name=f"chain{i}.step{step}",
+            )
+    prog.target_exit_data(*bufs)
+    return prog, arrays
+
+
+def lossy_checkpointed_run() -> None:
+    prog, arrays = build_inplace_workload()
+    plan = FaultPlan(
+        seed=17,
+        losses=[LinkLoss(probability=0.02)],
+        degradations=[
+            LinkDegradation(start=0.0, end=1.0, latency_factor=4.0,
+                            bandwidth_factor=0.5, dst=3),
+        ],
+    )
+    runtime = FaultTolerantRuntime(
+        ClusterSpec(num_nodes=7),
+        OMPCConfig(checkpoint_interval=0.05),
+    )
+    print("\n--- transient faults: 2% loss, degraded link to node 3, "
+          "node 4 dies at t=150ms ---")
+    print("in-place (INOUT) chains: checkpoint-free lineage could not "
+          "recover these")
+    result = runtime.run(
+        prog,
+        failures=[NodeFailure(time=0.150, node=4)],
+        fault_plan=plan,
+    )
+
+    print(f"makespan             : {result.makespan * 1e3:.1f} ms")
+    print(f"messages dropped     : {result.transport['drops']}, "
+          f"retransmissions: {result.transport['retransmissions']}, "
+          f"duplicates deduped: {result.transport['duplicates']}")
+    print(f"checkpoints taken    : {result.checkpoints_taken}, "
+          f"restores: {result.checkpoint_restores}")
+    print(f"suspicions cleared   : {result.suspicions_cleared} "
+          "(degraded node pinged alive, not declared dead)")
+    print(f"false positives      : {result.false_positive_detections}, "
+          f"false negatives: {result.false_negative_detections}")
+    ok = all(
+        np.allclose(arr, 3.0 * (i + 1)) for i, arr in enumerate(arrays)
+    )
+    print(f"all chain outputs correct: {ok}")
+    assert ok
+    assert result.false_positive_detections == 0
 
 
 def main() -> None:
@@ -66,6 +143,8 @@ def main() -> None:
     )
     print(f"all shot outputs correct: {ok}")
     assert ok
+
+    lossy_checkpointed_run()
 
 
 if __name__ == "__main__":

@@ -34,14 +34,23 @@ def _parse_scalar(text: str) -> Any:
         return False
     if lowered in ("null", "~", ""):
         return None
+    if lowered == ".nan":
+        return float("nan")
+    if lowered in (".inf", "+.inf"):
+        return float("inf")
+    if lowered == "-.inf":
+        return float("-inf")
     try:
         return int(text)
     except ValueError:
         pass
-    try:
-        return float(text)
-    except ValueError:
-        pass
+    # float() also accepts bare words like "nan"/"Infinity", but YAML
+    # spells those ".nan"/".inf" (handled above) — keep words as strings.
+    if any(ch.isdigit() for ch in text):
+        try:
+            return float(text)
+        except ValueError:
+            pass
     return text
 
 

@@ -56,6 +56,9 @@ class Cluster:
         ]
         self.network = Network(self.sim, self.spec.num_nodes, self.spec.network)
         self.trace = TraceRecorder(self.sim)
+        #: Transient-fault state installed by ``FaultPlan.install`` (see
+        #: :mod:`repro.core.faultmodel`); ``None`` means a clean machine.
+        self.faults = None
 
     @property
     def num_nodes(self) -> int:

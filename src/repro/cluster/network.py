@@ -103,6 +103,11 @@ class Network:
         self.sim = sim
         self.spec = spec or NetworkSpec()
         self.nics = [Nic(sim, i, self.spec) for i in range(num_nodes)]
+        #: Installed transient-fault state (see :mod:`repro.core.faultmodel`);
+        #: ``None`` models the paper's clean fabric.  When set, transfers
+        #: honour link-degradation windows and node-hang holds, and the
+        #: MPI layer consults it for message-drop decisions.
+        self.faults = None
         #: Total bytes moved across the fabric (excludes same-node copies).
         self.total_bytes = 0
         #: Total number of inter-node messages.
@@ -150,6 +155,13 @@ class Network:
             tx_n = self.nics[flow.src].tx_active
             rx_n = self.nics[flow.dst].rx_active
             flow.rate = min(bw / max(tx_n, 1), bw / max(rx_n, 1))
+            if self.faults is not None:
+                # Degradation windows scale a flow's share; installed
+                # fault plans schedule a rebalance at each window edge,
+                # so the piecewise-constant rate stays exact.
+                flow.rate *= self.faults.bandwidth_factor(
+                    flow.src, flow.dst, self.sim.now
+                )
         epoch = self._epoch
         for flow in self._flows:
             eta = flow.remaining / flow.rate if flow.rate > 0 else 0.0
@@ -203,6 +215,15 @@ class Network:
             )
             return
 
+        if self.faults is not None:
+            # A hung endpoint's NIC is silent: hold the transfer (without
+            # occupying channels) until the hang window closes.  Flows
+            # already serializing are not paused — the hold models
+            # admission at the NIC, which keeps the fluid model simple.
+            release = self.faults.hold_until(src, dst, self.sim.now)
+            if release > self.sim.now:
+                yield self.sim.timeout(release - self.sim.now)
+
         yield self.nics[src].tx_channels.request()
         yield self.nics[dst].rx_channels.request()
         try:
@@ -210,7 +231,10 @@ class Network:
         finally:
             self.nics[dst].rx_channels.release()
             self.nics[src].tx_channels.release()
-        yield self.sim.timeout(self.spec.latency)
+        latency = self.spec.latency
+        if self.faults is not None:
+            latency *= self.faults.latency_factor(src, dst, self.sim.now)
+        yield self.sim.timeout(latency)
 
         self.nics[src].bytes_sent += int(nbytes)
         self.nics[dst].bytes_received += int(nbytes)

@@ -16,9 +16,17 @@ device that models a *cluster node*, built from
 
 from repro.core.config import OMPCConfig
 from repro.core.datamanager import DataManager
+from repro.core.faultmodel import (
+    FaultPlan,
+    LinkDegradation,
+    LinkLoss,
+    NodeHang,
+    NodeStall,
+)
 from repro.core.faults import (
     FailureInjector,
     FaultTolerantRuntime,
+    FTRunResult,
     HeartbeatRing,
     NodeFailure,
     RecoveryError,
@@ -34,12 +42,18 @@ from repro.core.scheduler import (
 
 __all__ = [
     "DataManager",
+    "FTRunResult",
     "FailureInjector",
+    "FaultPlan",
     "FaultTolerantRuntime",
     "HeartbeatRing",
     "HeftScheduler",
+    "LinkDegradation",
+    "LinkLoss",
     "MinLoadScheduler",
     "NodeFailure",
+    "NodeHang",
+    "NodeStall",
     "OMPCConfig",
     "OMPCRunResult",
     "OMPCRuntime",

@@ -77,6 +77,24 @@ class OMPCConfig:
     page_size: int = 4096
     page_fault_overhead: float = 0.3e-6
 
+    # -- transient-fault tolerance (repro.core.faultmodel extension) --------
+    #: Head-side checkpoint period for written buffers; 0 disables
+    #: checkpointing (the seed behavior: lineage-only recovery, which
+    #: cannot rebuild in-place/INOUT producers).
+    checkpoint_interval: float = 0.0
+    #: Speculative re-dispatch threshold: a running target task whose
+    #: elapsed time exceeds ``straggler_factor`` times its cost estimate
+    #: gets a backup attempt on a second node (first finisher wins).
+    #: 0 disables speculation.  Only tasks whose writes are all pure
+    #: ``out`` dependences are eligible (double execution is idempotent).
+    straggler_factor: float = 0.0
+    #: Consecutive missed heartbeat windows before a node is *suspected*
+    #: (not yet declared dead) — the K of the suspect→confirm protocol.
+    heartbeat_suspect_windows: int = 2
+    #: How long the head waits for a ping reply before confirming a
+    #: suspect dead.
+    heartbeat_ping_timeout: float = 1.0 * MILLISECOND
+
     # -- calibrated overheads ------------------------------------------------
     startup_time: float = 12.0 * MILLISECOND
     shutdown_time: float = 8.0 * MILLISECOND
@@ -104,6 +122,14 @@ class OMPCConfig:
             raise ValueError("page_size must be >= 1")
         if self.page_fault_overhead < 0:
             raise ValueError("page_fault_overhead must be >= 0")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0 (0 = off)")
+        if self.straggler_factor < 0:
+            raise ValueError("straggler_factor must be >= 0 (0 = off)")
+        if self.heartbeat_suspect_windows < 1:
+            raise ValueError("heartbeat_suspect_windows must be >= 1")
+        if self.heartbeat_ping_timeout <= 0:
+            raise ValueError("heartbeat_ping_timeout must be > 0")
         for field_name in (
             "startup_time",
             "shutdown_time",

@@ -170,6 +170,18 @@ class DataManager:
                 st.locations.add(node)
         return stale
 
+    def commit_restore(self, buffer: Buffer, node: int = HOST) -> None:
+        """Re-materialize a buffer on ``node`` after total copy loss.
+
+        Used by checkpoint recovery: every previous location is gone
+        (the failed nodes were already dropped by
+        :meth:`on_node_failure`), and the restored bytes become the sole
+        authoritative copy.
+        """
+        st = self._st(buffer)
+        st.locations = {node}
+        st.latest = node
+
     # -- failures -----------------------------------------------------------
     def on_node_failure(self, node: int) -> list[Buffer]:
         """Drop every copy held by a failed node (§3.1 fault tolerance).

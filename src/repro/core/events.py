@@ -105,6 +105,9 @@ class EventSystem:
         self._first_event_done = False
         self._failed: set[int] = set()
         self._failure_events: dict[int, object] = {}
+        #: (task_id, attempt) pairs whose kernel launch was revoked
+        #: (straggler speculation: the other attempt already won).
+        self._cancelled_execs: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -161,6 +164,17 @@ class EventSystem:
             ev = self.sim.event(f"failure:{node_id}")
             self._failure_events[node_id] = ev
         return ev
+
+    def cancel_execution(self, task_id: int, attempt: int) -> None:
+        """Revoke a speculative EXECUTE attempt's side effects.
+
+        The worker still spends the compute time it already committed to
+        (the simulation cannot un-run a kernel's occupancy), but the
+        task function itself is not applied, so a late-finishing losing
+        attempt can never clobber buffers its winner (or the winner's
+        successors) produced.
+        """
+        self._cancelled_execs.add((task_id, attempt))
 
     def fail_node(self, node_id: int) -> None:
         """Crash a worker node: kill its event machinery, lose its memory.
@@ -295,12 +309,24 @@ class EventSystem:
         if parent is not None:
             yield from rank.send(note.origin, "done", cfg.completion_bytes, note.tag)
 
+    def _stretched(self, node_id: int, duration: float) -> float:
+        """Wall time for ``duration`` of compute starting now on the node,
+        stretched through any installed stall/hang windows (stragglers)."""
+        faults = self.cluster.faults
+        if faults is None or duration <= 0:
+            return duration
+        return faults.stretched(node_id, self.sim.now, duration)
+
     def _handle_execute(self, node_id: int, note: Notification, mem, rank):
         cfg = self.config
         # 5a in Fig. 3: fetch which function to run and its parameters.
         params = yield from rank.recv(src=note.origin, tag=note.tag)
         task: Task = params.payload
         node = self.cluster.node(node_id)
+        attempt = note.info.get("attempt", 0)
+
+        def revoked() -> bool:
+            return (task.task_id, attempt) in self._cancelled_execs
 
         page_protect = cfg.write_detection == "page_protect"
         if page_protect:
@@ -324,10 +350,12 @@ class EventSystem:
                     yield self.sim.timeout(
                         spec.pcie_latency + in_bytes / spec.pcie_bandwidth
                     )
-                duration = task.cost / (spec.speed * spec.accelerator_speed)
+                duration = self._stretched(
+                    node_id, task.cost / (spec.speed * spec.accelerator_speed)
+                )
                 if duration > 0:
                     yield self.sim.timeout(duration)
-                if task.fn is not None:
+                if task.fn is not None and not revoked():
                     args = [mem.read(d.buffer.buffer_id) for d in task.deps]
                     task.fn(*args)
                 if out_bytes or task.writes:
@@ -348,9 +376,10 @@ class EventSystem:
             duration = node.compute_time(task.cost) / max(threads, 1)
             yield node.cpu.request()
             try:
+                duration = self._stretched(node_id, duration)
                 if duration > 0:
                     yield self.sim.timeout(duration)
-                if task.fn is not None:
+                if task.fn is not None and not revoked():
                     args = [mem.read(d.buffer.buffer_id) for d in task.deps]
                     task.fn(*args)
             finally:
@@ -529,15 +558,18 @@ class EventSystem:
             yield from self._await_completion(origin, ANY_SOURCE, tag)
         self.trace.count("ompc.bytes_broadcast", nbytes * len(dsts))
 
-    def execute(self, dst: int, task: Task, origin: int = 0):
+    def execute(self, dst: int, task: Task, origin: int = 0, attempt: int = 0):
         """Generator: run a target region on ``dst`` (the EXECUTE event).
 
         Returns the tuple of buffer ids the device *detected* as written
         when page-protection write detection is enabled (§7), else
-        ``None`` (the caller trusts the depend clauses).
+        ``None`` (the caller trusts the depend clauses).  ``attempt``
+        identifies this dispatch for :meth:`cancel_execution` (straggler
+        speculation re-dispatches the same task under a new attempt id).
         """
         tag = yield from self._begin(origin, dst, EventType.EXECUTE,
-                                     {"task_id": task.task_id})
+                                     {"task_id": task.task_id,
+                                      "attempt": attempt})
         comm = self.pool.select(tag)
         req = comm.rank(origin).isend(dst, task, self.config.params_bytes, tag)
         msg = yield from self._await_completion(origin, dst, tag)

@@ -1,0 +1,305 @@
+"""Declarative transient-fault injection (lossy links, degraded links,
+stragglers, and hangs).
+
+The §3.1 fault-tolerance extension in :mod:`repro.core.faults` only
+models *fail-stop* crashes.  Real InfiniBand clusters also exhibit
+*transient* faults that a runtime must ride out rather than recover
+from: occasional message loss, links that temporarily degrade, nodes
+that stall (stragglers), and nodes that go silent for a while and then
+resume.  This module describes those faults declaratively:
+
+* :class:`LinkLoss` — a per-link independent message-drop probability,
+  deterministic via :func:`repro.util.rng.derive_rng` (one stream per
+  directed link, so adding traffic on one link never perturbs the loss
+  pattern of another).
+* :class:`LinkDegradation` — a time window during which a link's
+  propagation latency and/or bandwidth are scaled.
+* :class:`NodeStall` — a time window during which a node's compute rate
+  is multiplied (``factor < 1`` models a straggler).
+* :class:`NodeHang` — a node is completely silent (no compute progress,
+  NIC holds all traffic) for a duration, then resumes — distinct from a
+  fail-stop crash, which never resumes.
+
+A :class:`FaultPlan` bundles the fault set with a seed;
+:meth:`FaultPlan.install` binds it to a live cluster, producing an
+:class:`ActiveFaults` object that the network layer
+(:mod:`repro.cluster.network`), the MPI transport
+(:mod:`repro.mpi.comm`), and the event system (:mod:`repro.core.events`)
+consult at runtime.  Everything is deterministic: the same plan + seed
+yields the same drop pattern, the same retransmissions, and the same
+makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class LinkLoss:
+    """Independent per-message drop probability on matching links.
+
+    ``src``/``dst`` of ``None`` are wildcards; the first matching rule
+    in the plan wins, so put specific links before blanket rules.
+    """
+
+    probability: float
+    src: int | None = None
+    dst: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+
+    def matches(self, src: int, dst: int) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """A temporary slowdown window on matching links.
+
+    During ``[start, end)`` a matching link's propagation latency is
+    multiplied by ``latency_factor`` and its fair-share bandwidth by
+    ``bandwidth_factor`` (< 1 slows the link).  Overlapping windows
+    compose multiplicatively.
+    """
+
+    start: float
+    end: float
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    src: int | None = None
+    dst: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError("need 0 <= start < end")
+        if self.latency_factor <= 0 or self.bandwidth_factor <= 0:
+            raise ValueError("factors must be > 0")
+
+    def matches(self, src: int, dst: int) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """A compute-rate multiplier on one node over a time window.
+
+    ``factor`` scales the node's effective compute rate during
+    ``[start, end)``: ``0.25`` means work proceeds at a quarter speed (a
+    straggler); values above 1 are allowed for completeness.
+    """
+
+    node: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError("need 0 <= start < end")
+        if self.factor <= 0:
+            raise ValueError("stall factor must be > 0 (use NodeHang for silence)")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class NodeHang:
+    """A node goes completely silent for ``duration``, then resumes.
+
+    During the window the node makes no compute progress and its NIC
+    holds all traffic (in and out) until the window closes.  Unlike a
+    :class:`~repro.core.faults.NodeFailure` the node's memory survives
+    and every held message is eventually delivered.
+    """
+
+    node: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("need start >= 0 and duration > 0")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative set of transient faults plus the seed driving them."""
+
+    seed: int = 0
+    losses: tuple[LinkLoss, ...] = ()
+    degradations: tuple[LinkDegradation, ...] = ()
+    stalls: tuple[NodeStall, ...] = ()
+    hangs: tuple[NodeHang, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept lists for convenience; store tuples (the plan is frozen).
+        for name in ("losses", "degradations", "stalls", "hangs"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    @property
+    def lossy(self) -> bool:
+        """True if any link can drop messages (reliable transport needed)."""
+        return any(rule.probability > 0 for rule in self.losses)
+
+    def install(self, cluster) -> "ActiveFaults":
+        """Bind this plan to a live cluster.
+
+        Sets ``cluster.faults`` and ``cluster.network.faults`` and
+        schedules a fair-share rebalance at every degradation-window
+        edge so in-flight flows see bandwidth changes.
+        """
+        active = ActiveFaults(self, cluster)
+        cluster.faults = active
+        cluster.network.faults = active
+        sim = cluster.sim
+        for edge in active.edge_times():
+            if edge < sim.now:
+                continue
+            timer = sim.timeout(edge - sim.now)
+            timer.add_callback(
+                lambda ev, net=cluster.network: net._rebalance()
+            )
+        return active
+
+
+class ActiveFaults:
+    """Runtime state of a :class:`FaultPlan` bound to one cluster.
+
+    Consulted by the network layer (drops, degradation, hangs), the MPI
+    transport (loss decisions), and the event system (compute
+    stretching).  Loss draws use one RNG stream per directed link, so
+    drop patterns are stable under unrelated traffic changes elsewhere.
+    """
+
+    def __init__(self, plan: FaultPlan, cluster):
+        self.plan = plan
+        self.cluster = cluster
+        self._rngs: dict[tuple[int, int], object] = {}
+        #: Messages the fabric has eaten so far (diagnostics / tests).
+        self.dropped_messages = 0
+
+    # -- message loss -----------------------------------------------------
+    def loss_probability(self, src: int, dst: int) -> float:
+        for rule in self.plan.losses:
+            if rule.matches(src, dst):
+                return rule.probability
+        return 0.0
+
+    def drops(self, src: int, dst: int) -> bool:
+        """Decide (and record) whether the next ``src → dst`` message drops.
+
+        Consumes one draw from the link's RNG stream per call, so the
+        decision sequence on a link is a pure function of the seed and
+        that link's message order.
+        """
+        p = self.loss_probability(src, dst)
+        if p <= 0.0:
+            return False
+        rng = self._rngs.get((src, dst))
+        if rng is None:
+            rng = derive_rng(self.plan.seed, "loss", f"{src}->{dst}")
+            self._rngs[(src, dst)] = rng
+        if rng.random() < p:
+            self.dropped_messages += 1
+            return True
+        return False
+
+    # -- link degradation --------------------------------------------------
+    def latency_factor(self, src: int, dst: int, now: float) -> float:
+        factor = 1.0
+        for window in self.plan.degradations:
+            if window.active(now) and window.matches(src, dst):
+                factor *= window.latency_factor
+        return factor
+
+    def bandwidth_factor(self, src: int, dst: int, now: float) -> float:
+        factor = 1.0
+        for window in self.plan.degradations:
+            if window.active(now) and window.matches(src, dst):
+                factor *= window.bandwidth_factor
+        return factor
+
+    def edge_times(self) -> list[float]:
+        """Every time at which a degradation window opens or closes."""
+        edges: set[float] = set()
+        for window in self.plan.degradations:
+            edges.add(window.start)
+            edges.add(window.end)
+        return sorted(edges)
+
+    # -- hangs ----------------------------------------------------------------
+    def hold_until(self, src: int, dst: int, now: float) -> float:
+        """When the fabric may next move a ``src → dst`` message.
+
+        A hung endpoint holds traffic until its window closes; the
+        returned time is ``now`` when neither endpoint is hung.
+        """
+        release = now
+        for hang in self.plan.hangs:
+            if hang.node in (src, dst) and hang.active(now):
+                release = max(release, hang.end)
+        return release
+
+    # -- compute stretching ---------------------------------------------------
+    def compute_rate(self, node: int, now: float) -> float:
+        """The node's effective compute-rate multiplier at ``now``."""
+        for hang in self.plan.hangs:
+            if hang.node == node and hang.active(now):
+                return 0.0
+        rate = 1.0
+        for stall in self.plan.stalls:
+            if stall.node == node and stall.active(now):
+                rate *= stall.factor
+        return rate
+
+    def stretched(self, node: int, start: float, duration: float) -> float:
+        """Wall time for ``duration`` of nominal-rate work starting at
+        ``start`` on ``node``, integrating stall/hang windows.
+
+        Every window is bounded, so the rate is 1.0 past the last edge
+        and the walk always terminates.
+        """
+        if duration <= 0:
+            return duration
+        edges: set[float] = set()
+        for stall in self.plan.stalls:
+            if stall.node == node:
+                edges.update((stall.start, stall.end))
+        for hang in self.plan.hangs:
+            if hang.node == node:
+                edges.update((hang.start, hang.end))
+        t = start
+        work = duration
+        for edge in sorted(edges):
+            if edge <= t:
+                continue
+            rate = self.compute_rate(node, t)
+            if rate > 0:
+                span = edge - t
+                if work <= span * rate:
+                    return t + work / rate - start
+                work -= span * rate
+            t = edge
+        return t + work / self.compute_rate(node, t) - start

@@ -9,8 +9,13 @@ and will be released in a future version."
 This module implements that future version on the simulated cluster:
 
 * :class:`HeartbeatRing` — every node periodically sends a heartbeat to
-  its ring successor and monitors its predecessor; a missed deadline
-  reports the suspect to the head node.
+  its ring successor and monitors its predecessor.  Because the fabric
+  may drop or delay messages (see :mod:`repro.core.faultmodel`), a
+  missed deadline no longer proves death: the monitor *suspects* a
+  predecessor only after ``suspect_windows`` consecutive missed
+  windows, reports the suspect to the head node, and the head confirms
+  with a direct ping before declaring the node dead.  False positives
+  (alive nodes declared dead) and cleared suspicions are counted.
 * :class:`FailureInjector` — crashes chosen worker nodes at chosen
   simulated times (kills their event machinery and wipes their device
   memory).
@@ -18,29 +23,51 @@ This module implements that future version on the simulated cluster:
   survives worker failures: in-flight tasks on a dead node are
   re-dispatched to survivors, and buffers whose only copy died are
   recovered by lineage — re-executing their recorded producer task
-  (transitively).  Lineage recovery requires the producer's own inputs
-  to still be reconstructible, which holds for the paper's motivating
-  workload (independent long-running shots reading replicated/host
-  data); an unrecoverable loss raises :class:`RecoveryError`.
+  (transitively) — or, when periodic checkpointing is enabled
+  (``OMPCConfig.checkpoint_interval``), from head-side snapshots, which
+  also rescues in-place/INOUT producers that checkpoint-free lineage
+  cannot rebuild.  Straggler mitigation
+  (``OMPCConfig.straggler_factor``) speculatively re-dispatches a
+  too-slow target task to a second node and keeps whichever attempt
+  finishes first.  An unrecoverable loss raises :class:`RecoveryError`.
+
+Transient faults (message loss, degraded links, stalls, hangs) are
+injected by passing a :class:`~repro.core.faultmodel.FaultPlan` to
+:meth:`FaultTolerantRuntime.run`; a lossy plan automatically enables the
+reliable MPI transport (:class:`~repro.mpi.comm.TransportConfig`) so
+loss costs simulated time rather than correctness.
 """
 
 from __future__ import annotations
 
+import copy as _copy
+import itertools
+
+import numpy as np
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.cluster.machine import Cluster, ClusterSpec
 from repro.core.config import OMPCConfig
 from repro.core.datamanager import HOST, DataManager, Move
 from repro.core.events import EventSystem
+from repro.core.faultmodel import FaultPlan
 from repro.core.scheduler import HeftScheduler, Schedule, Scheduler
-from repro.mpi.comm import MpiWorld
+from repro.mpi.comm import MpiWorld, TransportConfig
 from repro.omp.api import OmpProgram
 from repro.omp.task import Buffer, Task, TaskKind
 from repro.sim.errors import SimulationError
 from repro.sim.primitives import AnyOf
 from repro.sim.resources import Resource
 from repro.util.units import MILLISECOND
+
+#: Ring-communicator tags: heartbeats, suspect reports to the head.
+HB_TAG = 1
+SUSPECT_TAG = 2
+#: Ping-communicator tags: pings carry the tag their pong must use.
+PING_TAG = 1
+_PONG_TAG_BASE = 16
 
 
 class RecoveryError(SimulationError):
@@ -68,10 +95,10 @@ class FailureInjector:
         self.events = events
         self.injected: list[NodeFailure] = []
 
-    def arm(self, failures: list[NodeFailure],
+    def arm(self, failures: Sequence[NodeFailure],
             on_fail: Callable[[int], None] | None = None) -> None:
         sim = self.events.sim
-        for failure in failures:
+        for failure in tuple(failures):
             def crash(f=failure):
                 yield sim.timeout(f.time)
                 self.events.fail_node(f.node)
@@ -83,13 +110,21 @@ class FailureInjector:
 
 
 class HeartbeatRing:
-    """Ring-topology liveness monitoring (§3.1).
+    """Ring-topology liveness monitoring (§3.1), loss-hardened.
 
     Node ``i`` heartbeats to ``(i+1) % n`` every ``interval``; the
-    monitor on the successor declares its predecessor dead after
-    ``timeout`` without a beat and invokes ``on_detect`` (the head-side
-    recovery hook).  After a detection the monitor re-wires to the next
-    living predecessor so later failures are still caught.
+    monitor on the successor counts consecutive ``timeout`` windows
+    without a beat.  After ``suspect_windows`` misses the monitor
+    reports the suspect to the head node, which pings the suspect
+    directly and declares it dead only if no pong arrives within
+    ``ping_timeout`` — so a node behind a lossy or degraded link is
+    cleared rather than killed.  After a detection the monitor re-wires
+    to the next living predecessor so later failures are still caught.
+
+    Heartbeats and suspect reports travel as datagrams (the ring
+    communicator opts out of reliable transport — retransmitting a
+    heartbeat would defeat its purpose); pings use a separate
+    communicator that inherits the world's transport.
     """
 
     def __init__(
@@ -100,20 +135,36 @@ class HeartbeatRing:
         interval: float = 1.0 * MILLISECOND,
         timeout: float = 3.5 * MILLISECOND,
         heartbeat_bytes: float = 16.0,
+        suspect_windows: int = 2,
+        ping_timeout: float = 1.0 * MILLISECOND,
     ):
         if interval <= 0 or timeout <= interval:
             raise ValueError("need 0 < interval < timeout")
+        if suspect_windows < 1:
+            raise ValueError("suspect_windows must be >= 1")
+        if ping_timeout <= 0:
+            raise ValueError("ping_timeout must be > 0")
         self.cluster = cluster
         self.sim = cluster.sim
         self.events = events
         self.interval = interval
         self.timeout = timeout
         self.heartbeat_bytes = heartbeat_bytes
-        self.comm = mpi.new_communicator()
+        self.suspect_windows = suspect_windows
+        self.ping_timeout = ping_timeout
+        self.head = 0
+        self.comm = mpi.new_communicator(reliable=False)
+        self.ping_comm = mpi.new_communicator()
         self.on_detect: Callable[[int, int], None] | None = None
         #: (dead_node, detected_by, detection_time) records.
         self.detections: list[tuple[int, int, float]] = []
+        #: Suspects that answered the head's ping (kept alive).
+        self.suspicions_cleared = 0
+        #: Nodes declared dead that had not actually failed.
+        self.false_positives = 0
         self._dead: set[int] = set()
+        self._confirming: set[int] = set()
+        self._pong_seq = itertools.count()
         self._stopped = False
 
     def start(self) -> None:
@@ -123,6 +174,8 @@ class HeartbeatRing:
         for node in range(n):
             self.sim.process(self._sender(node), name=f"hb-send{node}")
             self.sim.process(self._monitor(node), name=f"hb-mon{node}")
+            self.sim.process(self._responder(node), name=f"hb-pong{node}")
+        self.sim.process(self._confirm_service(), name="hb-confirm")
 
     def stop(self) -> None:
         """End monitoring (called at runtime shutdown)."""
@@ -144,30 +197,93 @@ class HeartbeatRing:
                 successor = (successor + 1) % n
             if successor != node:
                 rank.isend(successor, ("hb", node, seq),
-                           self.heartbeat_bytes, tag=1)
+                           self.heartbeat_bytes, tag=HB_TAG)
             seq += 1
             yield self.sim.timeout(self.interval)
 
     def _monitor(self, node: int):
         rank = self.comm.rank(node)
+        watched_prev: int | None = None
+        misses = 0
         while not self._stopped:
             if self.events.node_failed(node):
                 return
             watched = self._predecessor(node)
             if watched is None:
                 return  # no other live node to monitor
-            req = rank.irecv(src=watched, tag=1)
+            if watched != watched_prev:
+                watched_prev = watched
+                misses = 0
+            req = rank.irecv(src=watched, tag=HB_TAG)
             deadline = self.sim.timeout(self.timeout)
             yield AnyOf(self.sim, [req.event, deadline])
             if self._stopped or self.events.node_failed(node):
                 return
             if req.test():
+                misses = 0
                 continue  # a beat arrived in time
-            # Deadline passed without a beat from the watched node.  The
-            # fabric never drops messages in this model, so a missed
-            # window means the predecessor is gone; declare it and
-            # re-wire to the next believed-alive predecessor.
-            self._declare(watched, node)
+            # Withdraw the unmatched receive before the next window so a
+            # late beat from a slow-but-alive predecessor can never be
+            # swallowed by a request nobody is watching anymore.
+            req.cancel()
+            misses += 1
+            if misses < self.suspect_windows:
+                continue
+            misses = 0
+            if watched in self._dead or watched in self._confirming:
+                continue
+            # Suspect: the fabric may merely have dropped or delayed the
+            # beats, so ask the head to confirm with a direct ping.
+            rank.isend(self.head, ("suspect", watched, node),
+                       self.heartbeat_bytes, tag=SUSPECT_TAG)
+
+    def _confirm_service(self):
+        """Head-side loop turning suspect reports into ping confirms."""
+        rank = self.comm.rank(self.head)
+        while not self._stopped:
+            msg = yield from rank.recv(tag=SUSPECT_TAG)
+            if self._stopped:
+                return
+            _kind, suspect, reporter = msg.payload
+            if suspect in self._dead or suspect in self._confirming:
+                continue
+            self._confirming.add(suspect)
+            self.sim.process(
+                self._confirm(suspect, reporter), name=f"hb-ping{suspect}"
+            )
+
+    def _confirm(self, suspect: int, reporter: int):
+        """Ping ``suspect`` from the head; declare dead only on silence."""
+        reply_tag = _PONG_TAG_BASE + next(self._pong_seq)
+        rank = self.ping_comm.rank(self.head)
+        pong = rank.irecv(src=suspect, tag=reply_tag)
+        rank.isend(suspect, reply_tag, self.heartbeat_bytes, tag=PING_TAG)
+        yield AnyOf(self.sim, [pong.event, self.sim.timeout(self.ping_timeout)])
+        self._confirming.discard(suspect)
+        if pong.test():
+            self.suspicions_cleared += 1
+            return  # alive after all — the window misses were transient
+        pong.cancel()
+        if suspect == self.head:
+            # The head cannot fail in this model; its silence is always
+            # transient, so a head suspicion never becomes a declaration.
+            self.suspicions_cleared += 1
+            return
+        if not self.events.node_failed(suspect):
+            self.false_positives += 1
+        self._declare(suspect, reporter)
+
+    def _responder(self, node: int):
+        """Answer head pings (the liveness proof of the confirm step)."""
+        rank = self.ping_comm.rank(node)
+        while not self._stopped:
+            msg = yield from rank.recv(tag=PING_TAG)
+            if self._stopped:
+                return
+            if self.events.node_failed(node):
+                return  # a dead node answers nothing
+            rank.isend(msg.src, ("pong", node), self.heartbeat_bytes,
+                       tag=msg.payload)
 
     def _predecessor(self, node: int) -> int | None:
         """The nearest ring predecessor this node *believes* is alive."""
@@ -180,7 +296,7 @@ class HeartbeatRing:
         return None
 
     def _declare(self, dead: int, by: int) -> None:
-        if dead in self._dead:
+        if dead in self._dead or dead == self.head:
             return
         self._dead.add(dead)
         self.detections.append((dead, by, self.sim.now))
@@ -199,6 +315,22 @@ class FTRunResult:
     reexecuted_tasks: int = 0
     task_attempts: dict[int, int] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
+    #: Suspect→confirm outcomes: suspicions the head's ping cleared, and
+    #: detection errors against ground truth (a false positive is an
+    #: alive node declared dead; a false negative is a crashed node the
+    #: ring never declared).
+    suspicions_cleared: int = 0
+    false_positive_detections: int = 0
+    false_negative_detections: int = 0
+    #: Checkpoint activity (0 unless ``checkpoint_interval`` > 0).
+    checkpoints_taken: int = 0
+    checkpoint_restores: int = 0
+    #: Straggler mitigation: backup dispatches issued / races they won.
+    speculative_attempts: int = 0
+    speculation_wins: int = 0
+    #: Reliable-transport counters (drops, retransmissions, acks,
+    #: duplicates) — empty dict when the fabric is clean.
+    transport: dict[str, int] = field(default_factory=dict)
 
 
 class FaultTolerantRuntime:
@@ -211,6 +343,7 @@ class FaultTolerantRuntime:
         scheduler: Scheduler | None = None,
         heartbeat_interval: float = 1.0 * MILLISECOND,
         heartbeat_timeout: float = 3.5 * MILLISECOND,
+        transport: TransportConfig | None = None,
     ):
         if cluster_spec.num_nodes < 3:
             raise ValueError(
@@ -224,25 +357,38 @@ class FaultTolerantRuntime:
         )
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        #: Explicit transport override; by default the reliable transport
+        #: switches on exactly when the fault plan is lossy.
+        self.transport = transport
         self.last_cluster: Cluster | None = None
 
     # ------------------------------------------------------------------
     def run(
-        self, program: OmpProgram, failures: list[NodeFailure] = ()
+        self,
+        program: OmpProgram,
+        failures: Sequence[NodeFailure] = (),
+        fault_plan: FaultPlan | None = None,
     ) -> FTRunResult:
         program.validate()
+        failures = tuple(failures)
         cluster = Cluster(self.cluster_spec)
         self.last_cluster = cluster
         sim = cluster.sim
-        mpi = MpiWorld(cluster)
+        active = fault_plan.install(cluster) if fault_plan is not None else None
+        transport = self.transport
+        if transport is None and active is not None and active.plan.lossy:
+            transport = TransportConfig()
+        mpi = MpiWorld(cluster, transport=transport)
         events = EventSystem(cluster, mpi, self.config)
+        cfg = self.config
         ring = HeartbeatRing(
             cluster, mpi, events,
             interval=self.heartbeat_interval,
             timeout=self.heartbeat_timeout,
+            suspect_windows=cfg.heartbeat_suspect_windows,
+            ping_timeout=cfg.heartbeat_ping_timeout,
         )
         dm = DataManager()
-        cfg = self.config
         graph = program.graph
 
         schedule = self.scheduler.schedule(graph, cluster)
@@ -259,9 +405,21 @@ class FaultTolerantRuntime:
         slots = Resource(sim, capacity=cfg.head_threads, name="head-threads")
         #: Which task last produced each buffer's current value.
         writer_of: dict[int, Task] = {}
+        #: Monotone write counter per buffer (checkpoint freshness).
+        write_version: dict[int, int] = {}
+        #: Full write history per buffer: (version, task) in commit
+        #: order — checkpoint recovery replays every write newer than
+        #: the snapshot, not just the last one.
+        write_log: dict[int, list[tuple[int, Task]]] = {}
+        #: Written buffers by id (the checkpointer's worklist).
+        written_buffers: dict[int, Buffer] = {}
+        #: Head-side snapshots: buffer id → (version, pristine copy).
+        checkpoints: dict[int, tuple[int, Any]] = {}
         attempts: dict[int, int] = {}
+        exec_attempt = itertools.count(1)
         # Serialize recoveries of the same buffer.
         recovering: dict[int, object] = {}
+        ckpt_stop = False
 
         def target_node(task: Task) -> int:
             node = schedule.node_of(task)
@@ -290,39 +448,83 @@ class FaultTolerantRuntime:
             ``chain`` carries the buffer ids already being recovered on
             this call stack: needing one of them again means the lost
             value can only be rebuilt from itself (an in-place/INOUT
-            producer), which is unrecoverable without checkpoints.
+            producer), which is unrecoverable *without checkpoints* —
+            with checkpointing on, the snapshot breaks the cycle.
             """
+            bid = buffer.buffer_id
             while True:
                 locations = dm.locations(buffer) - dead
                 if locations:
                     return
-                if buffer.buffer_id in chain:
-                    raise RecoveryError(
-                        f"buffer {buffer.name} can only be rebuilt from "
-                        "its own lost value (in-place producer); "
-                        "checkpoint-free lineage recovery cannot help"
-                    )
-                token = recovering.get(buffer.buffer_id)
+                entry = checkpoints.get(bid)
+                if bid in chain:
+                    if entry is None:
+                        raise RecoveryError(
+                            f"buffer {buffer.name} can only be rebuilt "
+                            "from its own lost value (in-place producer); "
+                            "checkpoint-free lineage recovery cannot help"
+                        )
+                    # A recursive loss mid-replay of this very buffer:
+                    # the in-flight restore sequence is void, tell the
+                    # owning frame to start over from the snapshot.
+                    raise _RecoveryRestart(bid)
+                token = recovering.get(bid)
                 if token is not None:
                     yield token  # someone else is already recovering it
                     continue
-                producer = writer_of.get(buffer.buffer_id)
-                if producer is None:
+                producer = writer_of.get(bid)
+                if entry is None and producer is None:
                     raise RecoveryError(
                         f"buffer {buffer.name} lost with no recorded "
                         "producer; its initial value existed only on the "
                         "failed node"
                     )
                 done = sim.event(f"recover:{buffer.name}")
-                recovering[buffer.buffer_id] = done
+                recovering[bid] = done
                 try:
-                    yield from execute_once(
-                        producer, chain=chain | {buffer.buffer_id}
-                    )
+                    if entry is not None:
+                        yield from restore_and_replay(buffer, chain)
+                    else:
+                        yield from execute_once(producer, chain | {bid})
+                        result.reexecuted_tasks += 1
                 finally:
-                    del recovering[buffer.buffer_id]
+                    del recovering[bid]
                     done.succeed()
-                result.reexecuted_tasks += 1
+
+        def restore_and_replay(buffer: Buffer, chain: frozenset):
+            """Generator: rebuild ``buffer`` from its newest checkpoint.
+
+            Restores the snapshot to the head, then replays — in commit
+            order — every write newer than the snapshot, so multi-step
+            in-place chains come back complete, not just their last
+            link.  If a replayed copy is lost again mid-sequence the
+            whole sequence restarts from a fresh restore (partial
+            replays would otherwise double-apply in-place writes).
+            """
+            bid = buffer.buffer_id
+            while True:
+                version, snap = checkpoints[bid]
+                _restore_into(buffer, snap)
+                dm.commit_restore(buffer)
+                result.checkpoint_restores += 1
+                cluster.trace.count("ft.checkpoint_restores")
+                # Replays append to the log too; keep each task's first
+                # occurrence only, in original commit order.
+                seen: set[int] = set()
+                pending = []
+                for ver, task in write_log.get(bid, []):
+                    if ver > version and task.task_id not in seen:
+                        seen.add(task.task_id)
+                        pending.append(task)
+                try:
+                    for task in pending:
+                        yield from execute_once(task, chain | {bid})
+                        result.reexecuted_tasks += 1
+                except _RecoveryRestart as restart:
+                    if restart.buffer_id != bid:
+                        raise
+                    continue
+                return
 
         def safe_source_move(buffer: Buffer, dst: int, chain: frozenset = frozenset()):
             """Generator: materialize ``buffer`` on ``dst``.
@@ -354,6 +556,11 @@ class FaultTolerantRuntime:
                     if crash.node == dst:
                         raise  # the task itself must move
                     continue  # source died: pick another source
+                if src not in dm.locations(buffer) - dead:
+                    # The source was declared dead mid-transfer (possibly
+                    # a false positive under heavy transients) and its
+                    # copy invalidated; redo the move from a live source.
+                    continue
                 dm.commit_move(Move(buffer, src, dst))
                 return
 
@@ -370,12 +577,13 @@ class FaultTolerantRuntime:
                         yield from run_enter_data(task, node)
                     elif task.kind == TaskKind.TARGET_EXIT_DATA:
                         yield from run_exit_data(task)
+                    elif speculatable(task):
+                        yield from run_target_speculative(task, node, chain)
                     else:
                         yield from run_target(task, node, chain)
                     return
-                except _NodeCrashed:
-                    dead_node = node
-                    handle_node_death(dead_node)
+                except _NodeCrashed as crash:
+                    handle_node_death(crash.node)
                     continue  # retry on a survivor
 
         def run_classical(task: Task):
@@ -401,23 +609,30 @@ class FaultTolerantRuntime:
 
         def run_exit_data(task: Task):
             for buf in task.buffers:
-                yield from ensure_available(buf)
-                locations = dm.locations(buf) - dead
-                if HOST not in locations or dm.latest(buf) != HOST:
+                while True:
+                    yield from ensure_available(buf)
+                    locations = dm.locations(buf) - dead
+                    if HOST in locations and dm.latest(buf) == HOST:
+                        break
                     src = dm.latest(buf)
                     if src in dead or src not in locations:
                         src = min(locations)
-                    if src != HOST:
-                        payload = yield from events.retrieve(
-                            src, buf.buffer_id, buf.nbytes
-                        )
-                        buf.data = payload
-                        dm.commit_move(Move(buf, src, HOST))
+                    if src == HOST:
+                        break
+                    payload = yield from events.retrieve(
+                        src, buf.buffer_id, buf.nbytes
+                    )
+                    if src not in dm.locations(buf) - dead:
+                        continue  # source declared dead mid-retrieve
+                    buf.data = payload
+                    dm.commit_move(Move(buf, src, HOST))
+                    break
                 for stale_buf, holder in dm.commit_exit_data(buf):
                     if holder != HOST and holder not in dead:
                         yield from events.delete(holder, stale_buf.buffer_id)
 
-        def run_target(task: Task, node: int, chain: frozenset = frozenset()):
+        def run_target(task: Task, node: int, chain: frozenset = frozenset(),
+                       attempt: int = 0):
             moves, allocs = dm.plan_for_task(task, node)
             for buf in allocs:
                 yield from guarded(node, events.alloc(node, buf.buffer_id,
@@ -428,16 +643,102 @@ class FaultTolerantRuntime:
                     dep.buffer, node
                 ):
                     yield from safe_source_move(dep.buffer, node, chain)
-            yield from guarded(node, events.execute(node, task))
+            yield from guarded(node, events.execute(node, task, attempt=attempt))
             record_writes(task, node)
             stale = dm.commit_task_done(task, node)
             for buf, holder in stale:
                 if holder != HOST and holder not in dead:
                     yield from events.delete(holder, buf.buffer_id)
 
+        # -- straggler mitigation -----------------------------------------
+        def speculatable(task: Task) -> bool:
+            """Target tasks eligible for speculative re-dispatch.
+
+            Only pure-``out`` writers qualify: a losing attempt's kernel
+            launch is revoked, but one that already ran merely rewrote
+            outputs it fully overwrites — the same idempotence contract
+            lineage recovery relies on.  INOUT writers are excluded.
+            """
+            return (
+                cfg.straggler_factor > 0
+                and task.kind == TaskKind.TARGET
+                and task.cost > 0
+                and all(not (d.type.writes and d.type.reads) for d in task.deps)
+                and len(live_workers()) > 1
+            )
+
+        def run_target_speculative(task: Task, node: int, chain: frozenset):
+            """Generator: race a backup attempt against a straggler.
+
+            The primary attempt gets ``straggler_factor`` times its cost
+            estimate; past that, a second attempt starts on another live
+            worker and whichever finishes first wins.  The loser's
+            kernel launch is revoked through the event system so a
+            late-finishing attempt cannot clobber downstream writes.
+            """
+            estimate = cluster.node(node).compute_time(task.cost)
+            attempt_a = next(exec_attempt)
+            primary = sim.process(
+                run_target(task, node, chain, attempt_a),
+                name=f"ft-spec:{task.name}.a",
+            )
+            p_done = sim.event(f"settle:{task.name}.a")
+            primary.add_callback(lambda _ev: p_done.succeed())
+            yield AnyOf(sim, [
+                p_done, sim.timeout(cfg.straggler_factor * estimate)
+            ])
+            if not primary.triggered:
+                spare = [n for n in live_workers() if n != node]
+                if spare:
+                    backup_node = spare[task.task_id % len(spare)]
+                    attempt_b = next(exec_attempt)
+                    attempts[task.task_id] = attempts.get(task.task_id, 0) + 1
+                    result.speculative_attempts += 1
+                    cluster.trace.count("ft.speculative_attempts")
+                    backup = sim.process(
+                        run_target(task, backup_node, chain, attempt_b),
+                        name=f"ft-spec:{task.name}.b",
+                    )
+                    b_done = sim.event(f"settle:{task.name}.b")
+                    backup.add_callback(lambda _ev: b_done.succeed())
+                    yield AnyOf(sim, [p_done, b_done])
+                    first, first_att, second, second_att, second_done = (
+                        (primary, attempt_a, backup, attempt_b, b_done)
+                        if primary.triggered
+                        else (backup, attempt_b, primary, attempt_a, p_done)
+                    )
+                    if first.ok:
+                        if first is backup:
+                            result.speculation_wins += 1
+                        events.cancel_execution(task.task_id, second_att)
+                        if second.is_alive:
+                            second.interrupt("lost speculation race")
+                        return
+                    # The first finisher crashed; absorb its node's death
+                    # and let the surviving attempt decide the task.
+                    if not isinstance(first.value, _NodeCrashed):
+                        raise first.value
+                    handle_node_death(first.value.node)
+                    if not second.triggered:
+                        yield second_done
+                    if second.ok:
+                        if second is backup:
+                            result.speculation_wins += 1
+                        return
+                    raise second.value  # both attempts crashed: retry
+            if not primary.triggered:
+                yield p_done  # no spare worker: just wait the straggler out
+            if not primary.ok:
+                raise primary.value
+            return
+
         def record_writes(task: Task, node: int) -> None:
             for buf in task.writes:
                 writer_of[buf.buffer_id] = task
+                version = write_version.get(buf.buffer_id, 0) + 1
+                write_version[buf.buffer_id] = version
+                write_log.setdefault(buf.buffer_id, []).append((version, task))
+                written_buffers[buf.buffer_id] = buf
 
         def guarded(nodes, operation):
             """Generator: race ``operation`` against any of ``nodes`` dying.
@@ -479,6 +780,48 @@ class FaultTolerantRuntime:
                 slots.release()
             complete(task)
 
+        # -- checkpointing ------------------------------------------------
+        def checkpointer():
+            """Generator: periodically snapshot written buffers head-side.
+
+            Every snapshot is retrieved through the event system, so
+            checkpoint traffic is charged like any other data movement.
+            Only buffers whose newest write postdates their last
+            snapshot are refreshed.
+            """
+            while not ckpt_stop:
+                yield sim.timeout(cfg.checkpoint_interval)
+                if ckpt_stop:
+                    return
+                for bid in sorted(written_buffers):
+                    buf = written_buffers[bid]
+                    version = write_version.get(bid, 0)
+                    entry = checkpoints.get(bid)
+                    if entry is not None and entry[0] >= version:
+                        continue  # snapshot already current
+                    locations = dm.locations(buf) - dead
+                    if not locations:
+                        continue  # already lost; recovery owns it now
+                    src = dm.latest(buf)
+                    if src in dead or src not in locations:
+                        src = HOST if HOST in locations else min(locations)
+                    if src == HOST:
+                        checkpoints[bid] = (version, _snapshot(buf.data))
+                    else:
+                        try:
+                            payload = yield from guarded(
+                                [src],
+                                events.retrieve(src, bid, buf.nbytes),
+                            )
+                        except _NodeCrashed as crash:
+                            handle_node_death(crash.node)
+                            continue
+                        if write_version.get(bid, 0) != version:
+                            continue  # changed mid-flight; next round
+                        checkpoints[bid] = (version, _snapshot(payload))
+                    result.checkpoints_taken += 1
+                    cluster.trace.count("ft.checkpoints")
+
         # -- failure plumbing ---------------------------------------------
         def on_detect(dead_node: int, by: int) -> None:
             # The head learns through the ring; recovery state updates
@@ -489,10 +832,13 @@ class FaultTolerantRuntime:
         injector = FailureInjector(events)
 
         def main():
+            nonlocal ckpt_stop
             yield sim.timeout(cfg.startup_time)
             events.start()
             ring.start()
-            injector.arm(list(failures))
+            injector.arm(failures)
+            if cfg.checkpoint_interval > 0:
+                sim.process(checkpointer(), name="ft-checkpoint")
             creation = len(remaining) * cfg.task_creation_overhead
             if creation:
                 yield sim.timeout(creation)
@@ -509,6 +855,7 @@ class FaultTolerantRuntime:
                 for root in graph.roots():
                     sim.process(run_task(root), name=f"ft-task:{root.name}")
             yield all_done
+            ckpt_stop = True
             ring.stop()
             yield from events.shutdown()
             yield sim.timeout(cfg.shutdown_time)
@@ -519,7 +866,51 @@ class FaultTolerantRuntime:
         result.detections = list(ring.detections)
         result.task_attempts = dict(attempts)
         result.counters = dict(cluster.trace.counters)
+        result.suspicions_cleared = ring.suspicions_cleared
+        result.false_positive_detections = ring.false_positives
+        declared = {d for d, _by, _t in ring.detections}
+        result.false_negative_detections = len(
+            {f.node for f in injector.injected} - declared
+        )
+        result.transport = dict(mpi.stats)
+        if active is not None:
+            result.counters["faults.dropped_messages"] = (
+                active.dropped_messages
+            )
         return result
+
+
+def _snapshot(payload: Any) -> Any:
+    """A pristine copy of a device payload for checkpoint storage."""
+    if payload is None:
+        return None
+
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return _copy.deepcopy(payload)
+
+
+def _restore_into(buffer: Any, snapshot: Any) -> None:
+    """Restore a snapshot into a buffer, preserving payload identity.
+
+    Payloads travel by reference in the simulation, so host code may
+    hold the very array object ``buffer.data`` points at.  Copying the
+    snapshot *into* that array (rather than rebinding ``buffer.data`` to
+    a fresh one) keeps those aliases live across a recovery — matching
+    OpenMP mapped-buffer semantics, where the original host storage is
+    what gets refilled.
+    """
+    fresh = _snapshot(snapshot)  # the stored copy stays pristine
+    data = buffer.data
+    if (
+        isinstance(data, np.ndarray)
+        and isinstance(fresh, np.ndarray)
+        and data.shape == fresh.shape
+        and data.dtype == fresh.dtype
+    ):
+        np.copyto(data, fresh)
+    else:
+        buffer.data = fresh
 
 
 class _NodeCrashed(Exception):
@@ -528,3 +919,12 @@ class _NodeCrashed(Exception):
     def __init__(self, node: int):
         super().__init__(f"node {node} crashed")
         self.node = node
+
+
+class _RecoveryRestart(Exception):
+    """Internal control flow: a checkpoint restore sequence was itself
+    hit by a failure and must start over from the snapshot."""
+
+    def __init__(self, buffer_id: int):
+        super().__init__(f"recovery of buffer {buffer_id} must restart")
+        self.buffer_id = buffer_id

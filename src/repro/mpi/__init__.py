@@ -7,7 +7,14 @@ Interfaces (§4.2, §6.1).  One MPI rank runs per cluster node; rank ids
 equal node ids.
 """
 
-from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator, MpiWorld, Rank
+from repro.mpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    MpiWorld,
+    Rank,
+    TransportConfig,
+)
 from repro.mpi.datatypes import Message
 from repro.mpi.errors import MpiError
 from repro.mpi.request import Request
@@ -23,4 +30,5 @@ __all__ = [
     "MpiWorld",
     "Rank",
     "Request",
+    "TransportConfig",
 ]

@@ -11,17 +11,39 @@ the receiver's matching queue.  The sender never blocks on the receiver;
 this matches how MPICH handles the small-to-medium control messages the
 OMPC event system exchanges, and the bulk-data sends in our workloads
 are always pre-posted on the receive side.
+
+Reliable transport
+------------------
+A clean fabric delivers every message, so the default path is
+fire-and-forget.  When the cluster carries a lossy
+:class:`~repro.core.faultmodel.FaultPlan`, construct the world with a
+:class:`TransportConfig`: point-to-point sends then carry their
+per-(comm, src) sequence number end to end, the receiving NIC
+acknowledges each delivery, and the sender retransmits on an exponential
+-backoff timer until acked or a configurable retry cap is exceeded.
+Duplicates created by lost acks are suppressed at the receiver by
+``(src, seq)``; retransmissions and acks travel through the same
+VCI-contended fabric as first transmissions, so loss costs simulated
+time rather than correctness.  Under loss, retransmitted messages may
+arrive after later first-try messages — the non-overtaking guarantee is
+relaxed to what an unordered reliable datagram transport provides, which
+every consumer in this codebase tolerates (matching is tag-isolated).
+Acks model NIC-level delivery receipts: a crashed node's queue still
+acks (the origin detects death through the §3.1 failure machinery, not
+through transport timeouts).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Any
 
 from repro.cluster.machine import Cluster
 from repro.mpi.datatypes import Message
 from repro.mpi.errors import MpiError
 from repro.mpi.request import Request
+from repro.sim.primitives import AnyOf
 from repro.sim.resources import Store
 from repro.util.units import MICROSECOND
 
@@ -31,20 +53,61 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
+@dataclass(frozen=True)
+class TransportConfig:
+    """Parameters of the reliable (ack + retransmit) transport.
+
+    ``rto`` is the *base* retransmission timeout added on top of an
+    estimate of the message's own uncontended round trip (so bulk
+    messages do not spuriously retransmit merely because they serialize
+    longer than small ones); each retry multiplies the base by
+    ``backoff``.  Exceeding ``max_retries`` raises :class:`MpiError` —
+    the fabric is considered broken, not merely lossy.
+    """
+
+    ack_bytes: float = 16.0
+    rto: float = 100.0 * MICROSECOND
+    backoff: float = 2.0
+    max_retries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.ack_bytes < 0:
+            raise ValueError("ack_bytes must be >= 0")
+        if self.rto <= 0:
+            raise ValueError("rto must be > 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
 class MpiWorld:
     """All MPI state for one cluster: ranks, queues, communicators.
 
     ``overhead`` is the per-message software cost (matching, packing,
     progress-engine work) charged on the sending side; 0.5 µs is in line
-    with measured MPICH/UCX small-message overheads.
+    with measured MPICH/UCX small-message overheads.  ``transport``
+    enables the reliable ack/retransmit protocol on every communicator
+    that does not opt out (see :meth:`new_communicator`).
     """
 
-    def __init__(self, cluster: Cluster, overhead: float = 0.5 * MICROSECOND):
+    def __init__(
+        self,
+        cluster: Cluster,
+        overhead: float = 0.5 * MICROSECOND,
+        transport: TransportConfig | None = None,
+    ):
         if overhead < 0:
             raise ValueError("overhead must be >= 0")
         self.cluster = cluster
         self.sim = cluster.sim
         self.overhead = overhead
+        self.transport = transport
+        #: Transport-level counters (drops seen, retransmissions, acks,
+        #: duplicate deliveries suppressed).
+        self.stats: dict[str, int] = {
+            "drops": 0, "retransmissions": 0, "acks": 0, "duplicates": 0,
+        }
         self._next_comm_id = 0
         # Matching queues are per (rank, comm); one Store per pair, lazily
         # created, so traffic on one communicator never scans another's.
@@ -55,8 +118,16 @@ class MpiWorld:
     def size(self) -> int:
         return self.cluster.num_nodes
 
-    def new_communicator(self) -> "Communicator":
-        comm = Communicator(self, self._next_comm_id)
+    def new_communicator(self, reliable: bool | None = None) -> "Communicator":
+        """Create a communicator.
+
+        ``reliable=False`` opts this communicator out of the world's
+        reliable transport even when one is configured — datagram
+        semantics for traffic whose loss is handled at the protocol
+        level (heartbeats).  ``None`` inherits the world default.
+        """
+        transport = self.transport if reliable is not False else None
+        comm = Communicator(self, self._next_comm_id, transport)
         self._next_comm_id += 1
         return comm
 
@@ -68,14 +139,34 @@ class MpiWorld:
             self._queues[key] = store
         return store
 
+    def _dropped(self, src: int, dst: int) -> bool:
+        """Consult the installed fault plan for one drop decision."""
+        faults = self.cluster.network.faults
+        if faults is None or src == dst:
+            return False
+        if faults.drops(src, dst):
+            self.stats["drops"] += 1
+            return True
+        return False
+
 
 class Communicator:
     """An isolated message-matching context (like ``MPI_Comm``)."""
 
-    def __init__(self, mpi: MpiWorld, comm_id: int):
+    def __init__(
+        self,
+        mpi: MpiWorld,
+        comm_id: int,
+        transport: TransportConfig | None = None,
+    ):
         self.mpi = mpi
         self.comm_id = comm_id
+        self.transport = transport
         self._send_seq: dict[int, int] = defaultdict(int)
+        #: (src, seq) pairs already delivered (reliable-mode dedup).
+        self._delivered: set[tuple[int, int]] = set()
+        #: Pending ack events keyed by (src, dst, seq).
+        self._ack_waiters: dict[tuple[int, int, int], Any] = {}
 
     @property
     def size(self) -> int:
@@ -88,7 +179,9 @@ class Communicator:
 
     def dup(self) -> "Communicator":
         """Duplicate: a new communicator over the same group."""
-        return self.mpi.new_communicator()
+        return self.mpi.new_communicator(
+            reliable=self.transport is not None if self.mpi.transport else None
+        )
 
     def _check_rank(self, rank_id: int) -> None:
         if not 0 <= rank_id < self.size:
@@ -103,7 +196,11 @@ class Communicator:
         seq = self._send_seq[src]
         self._send_seq[src] = seq + 1
         msg = Message(self.comm_id, src, dst, tag, payload, nbytes, seq)
-        proc = self.mpi.sim.process(self._deliver(msg), name=f"isend:{src}->{dst}:t{tag}")
+        if self.transport is not None and src != dst:
+            gen = self._deliver_reliable(msg)
+        else:
+            gen = self._deliver(msg)
+        proc = self.mpi.sim.process(gen, name=f"isend:{src}->{dst}:t{tag}")
         return Request(proc, "send")
 
     def _deliver(self, msg: Message):
@@ -111,7 +208,74 @@ class Communicator:
         if self.mpi.overhead:
             yield sim.timeout(self.mpi.overhead)
         yield from self.mpi.cluster.network.transfer(msg.src, msg.dst, msg.nbytes)
+        if self.mpi._dropped(msg.src, msg.dst):
+            return  # lost in the fabric; fire-and-forget senders never know
         yield self.mpi._queue(msg.dst, self.comm_id).put(msg)
+
+    # -- reliable transport ---------------------------------------------------
+    def _deliver_reliable(self, msg: Message):
+        """Generator: send with ack + exponential-backoff retransmission.
+
+        Local completion (the isend Request) means *acked*, not merely
+        serialized — the eager-protocol guarantee a lossy fabric can
+        actually keep.
+        """
+        sim = self.mpi.sim
+        tc = self.transport
+        net = self.mpi.cluster.network
+        key = (msg.src, msg.dst, msg.seq)
+        ack = sim.event(f"mpi-ack:{key}")
+        self._ack_waiters[key] = ack
+        # The wait window covers the ack's own uncontended round trip.
+        rto = tc.rto + 2 * net.transfer_time(msg.dst, msg.src, tc.ack_bytes)
+        try:
+            for attempt in range(tc.max_retries + 1):
+                if attempt:
+                    self.mpi.stats["retransmissions"] += 1
+                if self.mpi.overhead:
+                    yield sim.timeout(self.mpi.overhead)
+                yield from net.transfer(msg.src, msg.dst, msg.nbytes)
+                if not self.mpi._dropped(msg.src, msg.dst):
+                    self._transport_accept(msg)
+                if ack.triggered:
+                    return
+                yield AnyOf(sim, [ack, sim.timeout(rto)])
+                if ack.triggered:
+                    return
+                rto *= tc.backoff
+            raise MpiError(
+                f"reliable send {msg.src}->{msg.dst} seq={msg.seq} "
+                f"tag={msg.tag} unacked after {tc.max_retries} retries"
+            )
+        finally:
+            self._ack_waiters.pop(key, None)
+
+    def _transport_accept(self, msg: Message) -> None:
+        """Receiver-side transport: dedup, enqueue, and schedule the ack."""
+        key = (msg.src, msg.seq)
+        if key in self._delivered:
+            self.mpi.stats["duplicates"] += 1
+        else:
+            self._delivered.add(key)
+            self.mpi._queue(msg.dst, self.comm_id).put(msg)
+        self.mpi.sim.process(
+            self._send_ack(msg), name=f"mpi-ack:{msg.dst}->{msg.src}"
+        )
+
+    def _send_ack(self, msg: Message):
+        sim = self.mpi.sim
+        tc = self.transport
+        if self.mpi.overhead:
+            yield sim.timeout(self.mpi.overhead)
+        yield from self.mpi.cluster.network.transfer(
+            msg.dst, msg.src, tc.ack_bytes
+        )
+        self.mpi.stats["acks"] += 1
+        if self.mpi._dropped(msg.dst, msg.src):
+            return  # the ack itself was lost; the sender will retransmit
+        ack = self._ack_waiters.get((msg.src, msg.dst, msg.seq))
+        if ack is not None and not ack.triggered:
+            ack.succeed()
 
     def _irecv(self, dst: int, src: int, tag: int) -> Request:
         self._check_rank(dst)
@@ -127,8 +291,9 @@ class Communicator:
                 return False
             return True
 
-        get = self.mpi._queue(dst, self.comm_id).get(match)
-        return Request(get, "recv")
+        store = self.mpi._queue(dst, self.comm_id)
+        get = store.get(match)
+        return Request(get, "recv", canceller=lambda: store.cancel(get))
 
 
 class Rank:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.sim.core import Event
 
 
@@ -11,12 +13,21 @@ class Request:
     ``yield from req.wait()`` blocks the calling process until the
     operation completes and returns its value (the received message's
     payload for receives, ``None`` for sends).  ``test()`` polls without
-    blocking.
+    blocking.  ``cancel()`` withdraws a not-yet-matched receive (like
+    ``MPI_Cancel``): the matching slot is released so a late message
+    cannot be consumed by a request nobody is watching anymore.
     """
 
-    def __init__(self, event: Event, kind: str):
+    def __init__(
+        self,
+        event: Event,
+        kind: str,
+        canceller: Callable[[], bool] | None = None,
+    ):
         self._event = event
         self.kind = kind
+        self._canceller = canceller
+        self.cancelled = False
 
     @property
     def event(self) -> Event:
@@ -25,6 +36,20 @@ class Request:
     def test(self) -> bool:
         """True once the operation has completed."""
         return self._event.processed
+
+    def cancel(self) -> bool:
+        """Withdraw the operation if it has not completed; True on success.
+
+        Only receives support cancellation (cancelling sends is
+        deprecated in MPI itself); a completed, already-matched, or
+        send request returns False and is left untouched.  After a
+        successful cancel the request's event never fires — do not
+        ``wait()`` on it.
+        """
+        if self.cancelled or self._event.triggered or self._canceller is None:
+            return False
+        self.cancelled = self._canceller()
+        return self.cancelled
 
     def wait(self):
         """Generator: wait for completion and return the result."""
@@ -41,5 +66,9 @@ class Request:
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "done" if self.test() else "pending"
+        state = (
+            "cancelled" if self.cancelled
+            else "done" if self.test()
+            else "pending"
+        )
         return f"<Request {self.kind} {state}>"

@@ -117,6 +117,19 @@ class Store:
         self._dispatch()
         return ev
 
+    def cancel(self, get_event: Event) -> bool:
+        """Withdraw a pending ``get()``; True if it was still queued.
+
+        A cancelled get event never fires, so callers must stop waiting
+        on it.  Items are unaffected — a message that would have matched
+        the withdrawn getter stays buffered for future getters.
+        """
+        for i, (ev, _pred) in enumerate(self._getters):
+            if ev is get_event:
+                del self._getters[i]
+                return True
+        return False
+
     def peek(self, filter: Callable[[Any], bool] | None = None) -> Any | None:
         """Return (without removing) the first matching item, or None."""
         for item in self._items:

@@ -1,0 +1,184 @@
+"""Tests for the declarative transient-fault model."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NetworkSpec
+from repro.core.faultmodel import (
+    FaultPlan,
+    LinkDegradation,
+    LinkLoss,
+    NodeHang,
+    NodeStall,
+)
+
+
+class TestRuleValidation:
+    def test_loss_probability_bounds(self):
+        LinkLoss(probability=0.0)
+        LinkLoss(probability=1.0)
+        with pytest.raises(ValueError):
+            LinkLoss(probability=-0.1)
+        with pytest.raises(ValueError):
+            LinkLoss(probability=1.1)
+
+    def test_degradation_window(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(start=-1.0, end=1.0)
+        with pytest.raises(ValueError):
+            LinkDegradation(start=1.0, end=1.0)
+        with pytest.raises(ValueError):
+            LinkDegradation(start=0.0, end=1.0, latency_factor=0.0)
+        with pytest.raises(ValueError):
+            LinkDegradation(start=0.0, end=1.0, bandwidth_factor=-1.0)
+
+    def test_stall_needs_positive_factor(self):
+        with pytest.raises(ValueError):
+            NodeStall(node=1, start=0.0, end=1.0, factor=0.0)
+        with pytest.raises(ValueError):
+            NodeStall(node=1, start=2.0, end=1.0, factor=0.5)
+
+    def test_hang_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            NodeHang(node=1, start=0.0, duration=0.0)
+        assert NodeHang(node=1, start=0.5, duration=0.25).end == 0.75
+
+
+class TestPlan:
+    def test_lists_coerced_to_tuples(self):
+        plan = FaultPlan(losses=[LinkLoss(probability=0.1)])
+        assert isinstance(plan.losses, tuple)
+
+    def test_lossy_property(self):
+        assert not FaultPlan().lossy
+        assert not FaultPlan(losses=[LinkLoss(probability=0.0)]).lossy
+        assert FaultPlan(losses=[LinkLoss(probability=0.01)]).lossy
+
+    def test_install_wires_cluster_and_network(self):
+        cluster = Cluster(ClusterSpec(num_nodes=3))
+        assert cluster.faults is None
+        assert cluster.network.faults is None
+        active = FaultPlan(losses=[LinkLoss(probability=0.5)]).install(cluster)
+        assert cluster.faults is active
+        assert cluster.network.faults is active
+
+
+class TestLossDraws:
+    def make(self, *losses, seed=0):
+        cluster = Cluster(ClusterSpec(num_nodes=4))
+        return FaultPlan(seed=seed, losses=list(losses)).install(cluster)
+
+    def test_first_matching_rule_wins(self):
+        active = self.make(
+            LinkLoss(probability=0.9, src=1, dst=2),
+            LinkLoss(probability=0.1),
+        )
+        assert active.loss_probability(1, 2) == 0.9
+        assert active.loss_probability(2, 1) == 0.1
+
+    def test_drops_deterministic_per_seed(self):
+        a = self.make(LinkLoss(probability=0.5), seed=42)
+        b = self.make(LinkLoss(probability=0.5), seed=42)
+        seq_a = [a.drops(1, 2) for _ in range(64)]
+        seq_b = [b.drops(1, 2) for _ in range(64)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+        assert a.dropped_messages == sum(seq_a)
+
+    def test_links_have_independent_streams(self):
+        a = self.make(LinkLoss(probability=0.5), seed=7)
+        b = self.make(LinkLoss(probability=0.5), seed=7)
+        # Interleaving traffic on another link must not perturb 1->2.
+        seq_a = [a.drops(1, 2) for _ in range(32)]
+        seq_b = []
+        for _ in range(32):
+            b.drops(2, 3)
+            seq_b.append(b.drops(1, 2))
+        assert seq_a == seq_b
+
+    def test_zero_probability_never_draws(self):
+        active = self.make(LinkLoss(probability=0.0))
+        assert not any(active.drops(1, 2) for _ in range(16))
+        assert active.dropped_messages == 0
+
+
+class TestDegradation:
+    def test_factors_compose_inside_window_only(self):
+        cluster = Cluster(ClusterSpec(num_nodes=3))
+        active = FaultPlan(degradations=[
+            LinkDegradation(start=1.0, end=2.0, latency_factor=4.0,
+                            bandwidth_factor=0.5),
+            LinkDegradation(start=1.5, end=3.0, latency_factor=2.0, dst=2),
+        ]).install(cluster)
+        assert active.latency_factor(1, 2, 0.5) == 1.0
+        assert active.latency_factor(1, 2, 1.2) == 4.0
+        assert active.latency_factor(1, 2, 1.7) == 8.0  # windows multiply
+        assert active.latency_factor(1, 1, 1.7) == 4.0  # dst filter
+        assert active.bandwidth_factor(1, 2, 1.2) == 0.5
+        assert active.edge_times() == [1.0, 1.5, 2.0, 3.0]
+
+    def test_degraded_latency_charged_on_transfer(self):
+        net = NetworkSpec(latency=1e-3, bandwidth=1e12)
+        slow = Cluster(ClusterSpec(num_nodes=3, network=net))
+        FaultPlan(degradations=[
+            LinkDegradation(start=0.0, end=10.0, latency_factor=5.0)
+        ]).install(slow)
+
+        def move():
+            yield from slow.network.transfer(1, 2, 0)
+
+        p = slow.sim.process(move())
+        slow.sim.run(until=p)
+        assert slow.sim.now == pytest.approx(5e-3)
+
+
+class TestHangsAndStalls:
+    def make(self, **kwargs):
+        cluster = Cluster(ClusterSpec(num_nodes=4))
+        return FaultPlan(**kwargs).install(cluster), cluster
+
+    def test_compute_rate(self):
+        active, _ = self.make(
+            stalls=[NodeStall(node=1, start=1.0, end=2.0, factor=0.25)],
+            hangs=[NodeHang(node=2, start=0.5, duration=0.5)],
+        )
+        assert active.compute_rate(1, 0.5) == 1.0
+        assert active.compute_rate(1, 1.5) == 0.25
+        assert active.compute_rate(2, 0.75) == 0.0
+        assert active.compute_rate(2, 1.5) == 1.0
+
+    def test_stretched_integrates_stall_window(self):
+        active, _ = self.make(
+            stalls=[NodeStall(node=1, start=1.0, end=2.0, factor=0.5)]
+        )
+        # 1s of work starting at 0.5: half done by t=1, the rest at half
+        # speed finishes at t=2 — total wall time 1.5s.
+        assert active.stretched(1, 0.5, 1.0) == pytest.approx(1.5)
+        # Unaffected node and unaffected window.
+        assert active.stretched(2, 0.5, 1.0) == pytest.approx(1.0)
+        assert active.stretched(1, 5.0, 1.0) == pytest.approx(1.0)
+
+    def test_stretched_pauses_through_hang(self):
+        active, _ = self.make(hangs=[NodeHang(node=1, start=0.2, duration=0.5)])
+        # 1s of work from t=0: 0.2s runs, 0.5s frozen, 0.8s remainder.
+        assert active.stretched(1, 0.0, 1.0) == pytest.approx(1.5)
+
+    def test_hold_until_covers_both_endpoints(self):
+        active, _ = self.make(hangs=[NodeHang(node=2, start=0.1, duration=0.4)])
+        assert active.hold_until(1, 3, 0.2) == 0.2
+        assert active.hold_until(1, 2, 0.2) == pytest.approx(0.5)
+        assert active.hold_until(2, 1, 0.2) == pytest.approx(0.5)
+        assert active.hold_until(2, 1, 0.6) == 0.6
+
+    def test_hang_holds_transfer_in_fabric(self):
+        net = NetworkSpec(latency=0.0, bandwidth=1e12)
+        cluster = Cluster(ClusterSpec(num_nodes=3, network=net))
+        FaultPlan(hangs=[NodeHang(node=2, start=0.0, duration=0.3)]).install(
+            cluster
+        )
+
+        def move():
+            yield from cluster.network.transfer(1, 2, 64)
+
+        p = cluster.sim.process(move())
+        cluster.sim.run(until=p)
+        assert cluster.sim.now == pytest.approx(0.3, abs=1e-6)

@@ -1,5 +1,7 @@
 """Tests for fault tolerance: heartbeats, failure injection, recovery."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,13 @@ from repro.cluster import Cluster, ClusterSpec
 from repro.core.config import OMPCConfig
 from repro.core.datamanager import HOST, DataManager
 from repro.core.events import EventSystem
+from repro.core.faultmodel import (
+    FaultPlan,
+    LinkDegradation,
+    LinkLoss,
+    NodeHang,
+    NodeStall,
+)
 from repro.core.faults import (
     FailureInjector,
     FaultTolerantRuntime,
@@ -366,3 +375,322 @@ class TestFaultTolerantRuntime:
     def test_requires_two_workers(self):
         with pytest.raises(ValueError):
             FaultTolerantRuntime(ClusterSpec(num_nodes=2))
+
+    def test_failures_accepts_any_sequence(self):
+        prog, model, outputs = shots_program(cost=0.1)
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=5), FAST)
+        res = rt.run(
+            prog, failures=(f for f in [NodeFailure(time=0.05, node=1)])
+        )
+        assert res.failures == [1]
+        for out in outputs:
+            np.testing.assert_allclose(out, model * 2.0)
+
+    def test_all_workers_dead_raises(self):
+        prog, _, _ = shots_program(num_shots=4, cost=0.2)
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=3), FAST)
+        with pytest.raises(RecoveryError, match="all worker nodes"):
+            rt.run(prog, failures=[
+                NodeFailure(time=0.02, node=1),
+                NodeFailure(time=0.03, node=2),
+            ])
+
+
+class TestHeartbeatLossHardening:
+    def make_lossy_ring(self, plan, n=4, **kwargs):
+        cluster = Cluster(ClusterSpec(num_nodes=n))
+        plan.install(cluster)
+        mpi = MpiWorld(cluster)
+        events = EventSystem(cluster, mpi, FAST)
+        events.start()
+        ring = HeartbeatRing(cluster, mpi, events, **kwargs)
+        return cluster, mpi, events, ring
+
+    def test_lost_heartbeats_cleared_by_ping_not_declared(self):
+        # Every heartbeat on the 2 -> 3 ring link is eaten, so node 3
+        # repeatedly suspects node 2 — but node 2 answers the head's
+        # pings, so it is never declared dead.
+        plan = FaultPlan(losses=[LinkLoss(probability=1.0, src=2, dst=3)])
+        cluster, mpi, events, ring = self.make_lossy_ring(plan)
+        ring.start()
+
+        def stopper():
+            yield cluster.sim.timeout(0.08)
+            ring.stop()
+
+        cluster.sim.process(stopper())
+        cluster.sim.run(until=0.2)
+        assert ring.detections == []
+        assert ring.false_positives == 0
+        assert ring.suspicions_cleared >= 1
+
+    def test_missed_windows_do_not_leak_receives(self):
+        # Each missed window must withdraw its unmatched irecv; before
+        # the fix every miss left a stale getter on node 3's queue.
+        plan = FaultPlan(losses=[LinkLoss(probability=1.0, src=2, dst=3)])
+        cluster, mpi, events, ring = self.make_lossy_ring(plan)
+        ring.start()
+
+        def stopper():
+            yield cluster.sim.timeout(0.08)
+            ring.stop()
+
+        cluster.sim.process(stopper())
+        cluster.sim.run(until=0.2)
+        store = mpi._queue(3, ring.comm.comm_id)
+        assert len(store._getters) <= 1  # only the live window's receive
+
+    def test_real_failure_still_detected_under_loss(self):
+        plan = FaultPlan(seed=2, losses=[LinkLoss(probability=0.2)])
+        cluster, mpi, events, ring = self.make_lossy_ring(plan)
+        ring.start()
+
+        def fail_later():
+            yield cluster.sim.timeout(0.02)
+            events.fail_node(2)
+            yield cluster.sim.timeout(0.1)
+            ring.stop()
+
+        cluster.sim.process(fail_later())
+        cluster.sim.run(until=0.3)
+        assert any(dead == 2 for dead, _by, _t in ring.detections)
+        assert ring.false_positives == 0
+
+    def test_suspect_windows_validation(self):
+        cluster = Cluster(ClusterSpec(num_nodes=3))
+        mpi = MpiWorld(cluster)
+        events = EventSystem(cluster, mpi, FAST)
+        with pytest.raises(ValueError):
+            HeartbeatRing(cluster, mpi, events, suspect_windows=0)
+        with pytest.raises(ValueError):
+            HeartbeatRing(cluster, mpi, events, ping_timeout=0.0)
+
+
+class TestTransientFaults:
+    def run_shots(self, plan=None, config=FAST, failures=(), num_shots=4,
+                  cost=0.05, nodes=5):
+        prog, model, outputs = shots_program(num_shots, cost)
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=nodes), config)
+        res = rt.run(prog, failures=failures, fault_plan=plan)
+        return res, model, outputs
+
+    def test_lossy_run_bit_identical_to_lossless(self):
+        clean, model, clean_out = self.run_shots()
+        plan = FaultPlan(seed=11, losses=[LinkLoss(probability=0.05)])
+        lossy, _, out = self.run_shots(plan=plan)
+        for a, b in zip(clean_out, out):
+            assert np.array_equal(a, b)  # bit-identical numerics
+            np.testing.assert_allclose(b, model * 2.0)
+        assert lossy.makespan >= clean.makespan
+        assert lossy.transport["drops"] >= 1
+        assert lossy.counters["faults.dropped_messages"] == (
+            lossy.transport["drops"]
+        )
+        assert lossy.failures == []
+        assert lossy.false_positive_detections == 0
+
+    def test_same_seed_same_makespan(self):
+        a, _, _ = self.run_shots(
+            plan=FaultPlan(seed=11, losses=[LinkLoss(probability=0.05)])
+        )
+        b, _, _ = self.run_shots(
+            plan=FaultPlan(seed=11, losses=[LinkLoss(probability=0.05)])
+        )
+        assert a.makespan == b.makespan
+        assert a.transport == b.transport
+
+    def test_degraded_but_alive_node_not_declared_dead(self):
+        # Node 2 sits behind a lossy, slow link and even hangs briefly —
+        # pure transients, zero failures: nothing may be declared dead.
+        plan = FaultPlan(
+            seed=3,
+            losses=[LinkLoss(probability=0.25, dst=2),
+                    LinkLoss(probability=0.25, src=2)],
+            degradations=[LinkDegradation(start=0.0, end=1.0,
+                                          latency_factor=5.0,
+                                          bandwidth_factor=0.5, dst=2)],
+            hangs=[NodeHang(node=2, start=0.02, duration=0.0008)],
+        )
+        res, model, outputs = self.run_shots(plan=plan)
+        for out in outputs:
+            np.testing.assert_allclose(out, model * 2.0)
+        assert res.detections == []
+        assert res.failures == []
+        assert res.false_positive_detections == 0
+
+    def test_fail_stop_under_loss_detected_and_recovered(self):
+        plan = FaultPlan(seed=4, losses=[LinkLoss(probability=0.05)])
+        res, model, outputs = self.run_shots(
+            plan=plan, cost=0.1,
+            failures=[NodeFailure(time=0.03, node=2)],
+        )
+        for out in outputs:
+            np.testing.assert_allclose(out, model * 2.0)
+        assert 2 in res.failures
+        assert any(dead == 2 for dead, _by, _t in res.detections)
+        assert res.false_negative_detections == 0
+
+
+def inout_chain_program():
+    """a is produced in place (INOUT): unrecoverable without checkpoints."""
+    prog = OmpProgram()
+    a = prog.buffer(64, data=np.zeros(8), name="a")
+    gate = prog.buffer(8, name="gate")
+    b = prog.buffer(64, data=np.zeros(8), name="b")
+    prog.target(
+        fn=lambda x: np.add(x, 1.0, out=x),
+        depend=[depend_inout(a)], cost=0.02, name="producer",
+    )
+    prog.task(depend=[depend_out(gate)], cost=0.2, name="delay")
+    prog.target(
+        fn=lambda x, _g, y: np.copyto(y, x * 10.0),
+        depend=[depend_in(a), depend_in(gate), depend_out(b)],
+        cost=0.02, name="consumer",
+    )
+    prog.target_exit_data(a, b)
+    return prog, a, b
+
+
+class TestCheckpointRecovery:
+    CKPT = dataclasses.replace(FAST, checkpoint_interval=0.03)
+
+    def producer_node(self, make_prog):
+        prog = make_prog()[0]
+        res = FaultTolerantRuntime(ClusterSpec(num_nodes=4), FAST).run(prog)
+        return next(
+            res.schedule.assignment[t.task_id]
+            for t in prog.graph.tasks()
+            if t.name == "producer"
+        )
+
+    def test_inplace_producer_recovers_with_checkpointing(self):
+        node = self.producer_node(inout_chain_program)
+        prog, a, b = inout_chain_program()
+        res = FaultTolerantRuntime(ClusterSpec(num_nodes=4), self.CKPT).run(
+            prog, failures=[NodeFailure(time=0.1, node=node)]
+        )
+        assert res.checkpoints_taken >= 1
+        assert res.checkpoint_restores >= 1
+        np.testing.assert_allclose(a.data, np.ones(8))
+        np.testing.assert_allclose(b.data, np.full(8, 10.0))
+
+    def test_checkpointing_off_still_raises(self):
+        # The seed contract survives: with checkpointing disabled the
+        # in-place producer's loss stays unrecoverable.
+        node = self.producer_node(inout_chain_program)
+        prog, _a, _b = inout_chain_program()
+        with pytest.raises(RecoveryError, match="in-place producer"):
+            FaultTolerantRuntime(ClusterSpec(num_nodes=4), FAST).run(
+                prog, failures=[NodeFailure(time=0.1, node=node)]
+            )
+
+    def test_stale_checkpoint_replays_producer_on_restored_bytes(self):
+        # t1 writes a, the checkpoint snapshots that version, then an
+        # INOUT t2 bumps a on the node before it dies: recovery must
+        # restore the stale snapshot and re-run t2 on top of it.
+        def make_prog():
+            prog = OmpProgram()
+            a = prog.buffer(64, data=np.zeros(8), name="a")
+            gate = prog.buffer(8, name="gate")
+            b = prog.buffer(64, data=np.zeros(8), name="b")
+            prog.target(
+                fn=lambda x: np.copyto(x, 1.0),
+                depend=[depend_out(a)], cost=0.02, name="producer",
+            )
+            prog.target(
+                fn=lambda x: np.add(x, 1.0, out=x),
+                depend=[depend_inout(a)], cost=0.05, name="bumper",
+            )
+            prog.task(depend=[depend_out(gate)], cost=0.25, name="delay")
+            prog.target(
+                fn=lambda x, _g, y: np.copyto(y, x * 10.0),
+                depend=[depend_in(a), depend_in(gate), depend_out(b)],
+                cost=0.02, name="consumer",
+            )
+            prog.target_exit_data(a, b)
+            return prog, a, b
+
+        prog0 = make_prog()[0]
+        res0 = FaultTolerantRuntime(ClusterSpec(num_nodes=4), FAST).run(prog0)
+        node = next(
+            res0.schedule.assignment[t.task_id]
+            for t in prog0.graph.tasks()
+            if t.name == "bumper"
+        )
+        prog, a, b = make_prog()
+        # Checkpoint fires at t=0.03 (snapshot of a after `producer`,
+        # while `bumper` is still running); the node dies at 0.08,
+        # before the next checkpoint would capture bumper's version.
+        res = FaultTolerantRuntime(ClusterSpec(num_nodes=4), self.CKPT).run(
+            prog, failures=[NodeFailure(time=0.08, node=node)]
+        )
+        assert res.checkpoint_restores >= 1
+        assert res.reexecuted_tasks >= 1
+        np.testing.assert_allclose(a.data, np.full(8, 2.0))
+        np.testing.assert_allclose(b.data, np.full(8, 20.0))
+
+    def test_multi_failure_cascade_with_checkpoints(self):
+        prog, model, outputs = shots_program(num_shots=6, cost=0.08)
+        res = FaultTolerantRuntime(ClusterSpec(num_nodes=6), self.CKPT).run(
+            prog,
+            failures=[NodeFailure(time=0.02, node=1),
+                      NodeFailure(time=0.05, node=3)],
+        )
+        assert sorted(res.failures) == [1, 3]
+        for out in outputs:
+            np.testing.assert_allclose(out, model * 2.0)
+
+    def test_no_checkpoints_taken_when_disabled(self):
+        prog, _, _ = shots_program()
+        res = FaultTolerantRuntime(ClusterSpec(num_nodes=5), FAST).run(prog)
+        assert res.checkpoints_taken == 0
+        assert res.checkpoint_restores == 0
+
+
+class TestStragglerMitigation:
+    SPEC = dataclasses.replace(FAST, straggler_factor=3.0)
+    STALL = FaultPlan(
+        seed=1, stalls=[NodeStall(node=1, start=0.0, end=10.0, factor=0.05)]
+    )
+
+    def test_speculation_rescues_stalled_node(self):
+        prog, model, outputs = shots_program(cost=0.05)
+        slow = FaultTolerantRuntime(ClusterSpec(num_nodes=5), FAST).run(
+            prog, fault_plan=self.STALL
+        )
+        prog2, _, outputs2 = shots_program(cost=0.05)
+        fast = FaultTolerantRuntime(ClusterSpec(num_nodes=5), self.SPEC).run(
+            prog2, fault_plan=FaultPlan(
+                seed=1,
+                stalls=[NodeStall(node=1, start=0.0, end=10.0, factor=0.05)],
+            )
+        )
+        assert fast.speculative_attempts >= 1
+        assert fast.speculation_wins >= 1
+        assert fast.makespan < slow.makespan
+        for out in outputs2:
+            np.testing.assert_allclose(out, model * 2.0)
+
+    def test_disabled_by_default(self):
+        prog, _, _ = shots_program(cost=0.05)
+        res = FaultTolerantRuntime(ClusterSpec(num_nodes=5), FAST).run(
+            prog, fault_plan=self.STALL
+        )
+        assert res.speculative_attempts == 0
+
+    def test_inout_tasks_not_eligible(self):
+        # The only slow task writes in place; double execution would not
+        # be idempotent, so speculation must leave it alone.
+        prog = OmpProgram()
+        a = prog.buffer(64, data=np.zeros(8), name="a")
+        prog.target_enter_data(a)
+        prog.target(
+            fn=lambda x: np.add(x, 1.0, out=x),
+            depend=[depend_inout(a)], cost=0.05, name="bump",
+        )
+        prog.target_exit_data(a)
+        res = FaultTolerantRuntime(ClusterSpec(num_nodes=5), self.SPEC).run(
+            prog, fault_plan=self.STALL
+        )
+        assert res.speculative_attempts == 0
+        np.testing.assert_allclose(a.data, np.ones(8))
