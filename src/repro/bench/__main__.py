@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.bench experiment.yaml [more.yaml ...]
     python -m repro.bench --demo
+    python -m repro.bench trace <scenario> --out trace.json
 
 Each YAML file describes one experiment (see
 :class:`repro.bench.config.ExperimentConfig`); the launcher runs the
@@ -63,6 +64,12 @@ def report(launcher: Launcher, config: ExperimentConfig) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        from repro.bench.tracecmd import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="OMPC Bench: run Task Bench experiment grids on the "

@@ -1,0 +1,104 @@
+"""The ``trace`` subcommand: one traced OMPC run, exported for Perfetto.
+
+Usage::
+
+    python -m repro.bench trace stencil_1d --nodes 4 --out trace.json
+
+Runs a single Task Bench scenario through the full OMPC stack with
+``OMPCConfig(trace=True)``, writes the Chrome/Perfetto trace JSON to
+``--out``, and prints the utilization summary (per-link busy fraction
+and bandwidth occupancy, per-node core occupancy, head in-flight slot
+pressure, event-queue depths).  Load the JSON at
+https://ui.perfetto.dev or in ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.cluster.machine import ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.runtime import OMPCRuntime
+from repro.obs import (
+    format_utilization,
+    to_chrome_trace,
+    utilization_summary,
+    validate_chrome_trace,
+)
+from repro.taskbench import KernelSpec, Pattern, TaskBenchSpec
+from repro.taskbench.bench import build_omp_program
+
+#: Reference fabric bandwidth for CCR-derived payload sizes (§6.1).
+DEFAULT_BANDWIDTH = 100e9 / 8.0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench trace",
+        description="Run one traced scenario and export a Perfetto trace.",
+    )
+    parser.add_argument(
+        "scenario",
+        choices=sorted(p.value for p in Pattern),
+        help="Task Bench dependence pattern to run",
+    )
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="cluster size incl. the head node (default 4)")
+    parser.add_argument("--width", type=int, default=None,
+                        help="tasks per step (default: 2 per worker)")
+    parser.add_argument("--steps", type=int, default=4,
+                        help="timesteps in the task graph (default 4)")
+    parser.add_argument("--iterations", type=int, default=1_000_000,
+                        help="kernel iterations per task (default 1e6)")
+    parser.add_argument("--ccr", type=float, default=1.0,
+                        help="computation-to-communication ratio (default 1)")
+    parser.add_argument("--out", type=Path, default=Path("trace.json"),
+                        help="output trace file (default trace.json)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.nodes < 2:
+        raise SystemExit("trace needs a head node plus >= 1 worker")
+    width = args.width if args.width is not None else 2 * (args.nodes - 1)
+
+    spec = TaskBenchSpec.with_ccr(
+        width,
+        args.steps,
+        Pattern(args.scenario),
+        KernelSpec(args.iterations),
+        args.ccr,
+        DEFAULT_BANDWIDTH,
+    )
+    config = OMPCConfig(trace=True)
+    runtime = OMPCRuntime(ClusterSpec(num_nodes=args.nodes), config)
+    result = runtime.run(build_omp_program(spec))
+    obs = result.obs
+    assert obs is not None  # trace=True guarantees an observer
+
+    events = to_chrome_trace(obs)
+    problems = validate_chrome_trace(events)
+    if problems:  # pragma: no cover - exporter bug guard
+        for problem in problems:
+            print(f"invalid trace: {problem}")
+        return 1
+    args.out.write_text(json.dumps({"traceEvents": events}, indent=1))
+
+    print(
+        f"{args.scenario}: nodes={args.nodes} width={width} "
+        f"steps={args.steps} ccr={args.ccr}"
+    )
+    print(
+        f"wrote {args.out} ({len(events)} events, "
+        f"categories: {', '.join(sorted(obs.categories()))})"
+    )
+    print()
+    report = utilization_summary(
+        obs, runtime.last_cluster, result.makespan,
+        head_threads=config.head_threads,
+    )
+    print(format_utilization(report))
+    return 0

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.cluster.network import Network, NetworkSpec
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.trace import TraceRecorder
+from repro.obs.observer import NULL_OBSERVER
 from repro.sim.core import Simulator
 
 
@@ -56,9 +57,22 @@ class Cluster:
         ]
         self.network = Network(self.sim, self.spec.num_nodes, self.spec.network)
         self.trace = TraceRecorder(self.sim)
+        #: Observability sink (see :mod:`repro.obs`): the no-op observer
+        #: unless a runtime installs a recording one via
+        #: :meth:`install_observer`.
+        self.obs = NULL_OBSERVER
         #: Transient-fault state installed by ``FaultPlan.install`` (see
         #: :mod:`repro.core.faultmodel`); ``None`` means a clean machine.
         self.faults = None
+
+    def install_observer(self, obs) -> None:
+        """Attach an :class:`~repro.obs.observer.Observer` to every layer.
+
+        Must run before MPI worlds or runtimes are built on this cluster
+        — they capture ``cluster.obs`` at construction time.
+        """
+        self.obs = obs
+        self.network.obs = obs
 
     @property
     def num_nodes(self) -> int:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.observer import NULL_OBSERVER
 from repro.sim.core import Event, Simulator
 from repro.sim.resources import Resource
 from repro.util.units import Gbps, MICROSECOND
@@ -103,6 +104,10 @@ class Network:
         self.sim = sim
         self.spec = spec or NetworkSpec()
         self.nics = [Nic(sim, i, self.spec) for i in range(num_nodes)]
+        #: Observability sink; ``Cluster.install_observer`` swaps in a
+        #: recording observer, which then sees per-link flow-count
+        #: gauges and byte counters (the utilization report's input).
+        self.obs = NULL_OBSERVER
         #: Installed transient-fault state (see :mod:`repro.core.faultmodel`);
         #: ``None`` models the paper's clean fabric.  When set, transfers
         #: honour link-degradation windows and node-hang holds, and the
@@ -226,9 +231,15 @@ class Network:
 
         yield self.nics[src].tx_channels.request()
         yield self.nics[dst].rx_channels.request()
+        obs = self.obs
+        if obs.enabled:
+            obs.gauge_add(f"link.{src}->{dst}", 1, node=src)
         try:
             yield self._start_flow(src, dst, nbytes)
         finally:
+            if obs.enabled:
+                obs.gauge_add(f"link.{src}->{dst}", -1, node=src)
+                obs.count(f"link.{src}->{dst}.bytes", nbytes)
             self.nics[dst].rx_channels.release()
             self.nics[src].tx_channels.release()
         latency = self.spec.latency

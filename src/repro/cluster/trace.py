@@ -95,22 +95,33 @@ class TraceRecorder:
         name.  Serialize with ``json.dumps`` and load in any trace
         viewer.
         """
+        from repro.obs.exporter import pack_lanes
+
         events = []
         pids = {}
+        by_component: dict[str, list[Span]] = {}
         for span in self.spans:
-            pid = pids.setdefault(span.component, len(pids))
-            events.append(
-                {
-                    "name": span.name,
-                    "cat": span.component,
-                    "ph": "X",
-                    "ts": span.start * 1e6,
-                    "dur": span.duration * 1e6,
-                    "pid": pid,
-                    "tid": 0,
-                    "args": dict(span.meta),
-                }
-            )
+            pids.setdefault(span.component, len(pids))
+            by_component.setdefault(span.component, []).append(span)
+        for component, spans in by_component.items():
+            pid = pids[component]
+            # Overlapping spans must land on distinct lanes or the
+            # viewer silently stacks them; greedy interval packing
+            # keeps the lane count minimal.
+            lanes = pack_lanes([(s.start, s.end) for s in spans])
+            for span, tid in zip(spans, lanes):
+                events.append(
+                    {
+                        "name": span.name,
+                        "cat": span.component,
+                        "ph": "X",
+                        "ts": span.start * 1e6,
+                        "dur": span.duration * 1e6,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": dict(span.meta),
+                    }
+                )
         for component, pid in pids.items():
             events.append(
                 {

@@ -61,6 +61,12 @@ class OMPCConfig:
     """
 
     # -- structural -------------------------------------------------------
+    #: Enable the unified observability layer (repro.obs): lifecycle
+    #: spans, message flows, and utilization gauges collected on an
+    #: Observer exposed as ``OMPCRunResult.obs``.  Instrumentation reads
+    #: the clock but never advances it, so tracing is zero-cost in
+    #: simulated time; off by default to keep untraced runs lean.
+    trace: bool = False
     head_threads: int = 48
     event_handlers: int = 4
     num_comms: int = 8

@@ -87,6 +87,9 @@ class EventSystem:
         self.mpi = mpi
         self.config = config
         self.trace = cluster.trace
+        #: Observability sink, captured at construction (install via
+        #: ``Cluster.install_observer`` before building the system).
+        self.obs = cluster.obs
 
         #: Control communicator carrying notifications only.
         self.control: Communicator = mpi.new_communicator()
@@ -218,6 +221,7 @@ class EventSystem:
                     return
                 self.trace.count("ompc.notifications")
                 yield self._queues[node_id].put(note)
+                self.obs.gauge_add(f"node{node_id}.evq", 1, node=node_id)
         except Interrupt:
             return  # node crashed
 
@@ -230,9 +234,15 @@ class EventSystem:
                 note = yield queue.get()
                 if note is _POISON:
                     return
+                self.obs.gauge_add(f"node{node_id}.evq", -1, node=node_id)
+                open_span = self.obs.begin(
+                    "ompc", f"evt:{note.event_type.value}", node_id,
+                    tag=note.tag, origin=note.origin,
+                )
                 if self.config.event_handler_overhead:
                     yield self.sim.timeout(self.config.event_handler_overhead)
                 yield from self._handle(node_id, note)
+                self.obs.end(open_span)
                 self.trace.count(f"ompc.events.{note.event_type.value}")
         except Interrupt:
             return  # node crashed mid-event; the origin races failure_event
@@ -324,6 +334,10 @@ class EventSystem:
         task: Task = params.payload
         node = self.cluster.node(node_id)
         attempt = note.info.get("attempt", 0)
+        kernel_span = self.obs.begin(
+            "task", f"{task.name}:kernel", node_id,
+            task_id=task.task_id, attempt=attempt,
+        )
 
         def revoked() -> bool:
             return (task.task_id, attempt) in self._cancelled_execs
@@ -375,6 +389,7 @@ class EventSystem:
             threads = min(int(task.meta.get("omp_threads", 1)), node.spec.cores)
             duration = node.compute_time(task.cost) / max(threads, 1)
             yield node.cpu.request()
+            self.obs.gauge_add(f"node{node_id}.cpu_busy", threads, node=node_id)
             try:
                 duration = self._stretched(node_id, duration)
                 if duration > 0:
@@ -383,6 +398,9 @@ class EventSystem:
                     args = [mem.read(d.buffer.buffer_id) for d in task.deps]
                     task.fn(*args)
             finally:
+                self.obs.gauge_add(
+                    f"node{node_id}.cpu_busy", -threads, node=node_id
+                )
                 node.cpu.release()
 
         completion: Any = "done"
@@ -414,6 +432,7 @@ class EventSystem:
                 yield self.sim.timeout(fault_pages * cfg.page_fault_overhead)
             self.trace.count("ompc.page_faults", fault_pages)
             completion = ("done", tuple(written))
+        self.obs.end(kernel_span)
         yield from rank.send(note.origin, completion, cfg.completion_bytes,
                              note.tag)
 
@@ -434,8 +453,12 @@ class EventSystem:
             self._first_event_done = True
             if self.config.first_event_interval:
                 span = self.trace.begin("ompc", "first_event_interval")
+                obs_span = self.obs.begin(
+                    "ompc", "first_event_interval", origin
+                )
                 yield self.sim.timeout(self.config.first_event_interval)
                 self.trace.end(span)
+                self.obs.end(obs_span)
         tag = self.tags.allocate()
         note = Notification(event_type, tag, origin, info)
         yield from self.control.rank(origin).send(

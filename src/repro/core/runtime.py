@@ -33,6 +33,7 @@ from repro.core.datamanager import HOST, DataManager, Move
 from repro.core.events import EventSystem
 from repro.core.scheduler import HeftScheduler, Schedule, Scheduler
 from repro.mpi.comm import MpiWorld
+from repro.obs.observer import Observer
 from repro.omp.api import OmpProgram
 from repro.omp.task import Task, TaskKind
 from repro.sim.primitives import AllOf
@@ -54,6 +55,9 @@ class OMPCRunResult:
     #: Bytes moved over the fabric during the run.
     network_bytes: float = 0.0
     network_messages: int = 0
+    #: The run's :class:`~repro.obs.observer.Observer` when the config
+    #: enabled tracing (``OMPCConfig.trace``); ``None`` otherwise.
+    obs: Observer | None = None
 
     @property
     def constant_overhead(self) -> float:
@@ -98,6 +102,11 @@ class OMPCRuntime:
         cluster = Cluster(self.cluster_spec)
         self.last_cluster = cluster
         sim = cluster.sim
+        if self.config.trace:
+            # Must precede MpiWorld/EventSystem construction — both
+            # capture ``cluster.obs`` when built.
+            cluster.install_observer(Observer(sim))
+        obs = cluster.obs
         mpi = MpiWorld(cluster)
         events = EventSystem(cluster, mpi, self.config)
         dm = DataManager()
@@ -131,6 +140,10 @@ class OMPCRuntime:
         # -- buffer movement -------------------------------------------------
         def perform_move(move: Move):
             buf = move.buffer
+            move_span = obs.begin(
+                "data", f"move:{buf.name}", 0,
+                src=move.src, dst=move.dst, nbytes=buf.nbytes,
+            )
             if move.src == HOST:
                 payload = buf.data
                 yield from events.submit(move.dst, buf.buffer_id, payload, buf.nbytes)
@@ -150,6 +163,7 @@ class OMPCRuntime:
                 )
                 yield from events.submit(move.dst, buf.buffer_id, payload, buf.nbytes)
             dm.commit_move(move)
+            obs.end(move_span)
 
         def perform_moves(moves: list[Move]):
             """Overlap independent buffer moves of one task."""
@@ -168,12 +182,21 @@ class OMPCRuntime:
             """Synchronously remove invalidated worker copies."""
             for buf, holder in stale:
                 if holder != HOST:
+                    del_span = obs.begin(
+                        "data", f"delete:{buf.name}", 0, holder=holder
+                    )
                     yield from events.delete(holder, buf.buffer_id)
+                    obs.end(del_span)
 
         # -- per-task execution ---------------------------------------------
         def run_task(task: Task):
             # §7: one head-node OpenMP thread blocks per in-flight task.
+            wait_span = obs.begin(
+                "task", f"{task.name}:wait-slot", 0, task_id=task.task_id
+            )
             yield slots.request()
+            obs.end(wait_span)
+            obs.gauge_add("head.inflight", 1)
             start = sim.now
             try:
                 node = schedule.node_of(task)
@@ -187,6 +210,7 @@ class OMPCRuntime:
                     yield from run_target(task, node)
             finally:
                 slots.release()
+                obs.gauge_add("head.inflight", -1)
             result.task_intervals[task.task_id] = (start, sim.now)
             trace.record("task", task.name, start, sim.now)
             complete(task)
@@ -239,34 +263,54 @@ class OMPCRuntime:
 
         def run_target(task: Task, node: int):
             moves, allocs = dm.plan_for_task(task, node)
+            fetch_span = obs.begin(
+                "task", f"{task.name}:fetch", 0,
+                target=node, moves=len(moves), allocs=len(allocs),
+            )
             for buf in allocs:
                 yield from events.alloc(node, buf.buffer_id, payload=buf.data)
                 dm.commit_alloc(buf, node)
             yield from perform_moves(moves)
+            obs.end(fetch_span)
+            exec_span = obs.begin(
+                "task", f"{task.name}:execute", 0, target=node
+            )
             detected = yield from events.execute(node, task)
+            obs.end(exec_span)
+            commit_span = obs.begin(
+                "task", f"{task.name}:commit", 0, target=node
+            )
             stale = dm.commit_task_done(
                 task,
                 node,
                 written_ids=set(detected) if detected is not None else None,
             )
             yield from perform_deletes(stale)
+            obs.end(commit_span)
 
         # -- main process on the head node ------------------------------------
         def main():
             # 1. startup: process start -> gate-thread creation (Fig. 7a).
             span = trace.begin("runtime", "startup")
+            obs_span = obs.begin("sched", "startup", 0)
             yield sim.timeout(cfg.startup_time)
             events.start()
             trace.end(span)
+            obs.end(obs_span)
             result.startup_time = cfg.startup_time
 
             # 2. control thread creates all tasks (workers stay idle).
             creation = len(remaining) * cfg.task_creation_overhead
             if creation:
+                obs_span = obs.begin(
+                    "sched", "task-creation", 0, tasks=len(remaining)
+                )
                 yield sim.timeout(creation)
+                obs.end(obs_span)
 
             # 3. implicit barrier: schedule the entire graph with HEFT.
             span = trace.begin("runtime", "scheduling")
+            obs_span = obs.begin("sched", "heft", 0, edges=graph.num_edges)
             sched_cost = (
                 graph.num_edges
                 * max(cluster.num_nodes - 1, 1)
@@ -275,6 +319,7 @@ class OMPCRuntime:
             if sched_cost:
                 yield sim.timeout(sched_cost)
             trace.end(span)
+            obs.end(obs_span)
             result.scheduling_time = sched_cost + 0.0
 
             # 4./5. dispatch and drain the graph.
@@ -287,9 +332,11 @@ class OMPCRuntime:
 
             # 6. shutdown: gate-thread destruction -> process end.
             span = trace.begin("runtime", "shutdown")
+            obs_span = obs.begin("sched", "shutdown", 0)
             yield from events.shutdown()
             yield sim.timeout(cfg.shutdown_time)
             trace.end(span)
+            obs.end(obs_span)
             result.shutdown_time = cfg.shutdown_time
 
         # Scheduling happens inside main() in simulated time, but the
@@ -326,4 +373,12 @@ class OMPCRuntime:
         result.counters = dict(trace.counters)
         result.network_bytes = cluster.network.total_bytes
         result.network_messages = cluster.network.total_messages
+        if obs.enabled:
+            # Fold the transport + event-system tallies into the
+            # observer so one object carries the whole run's metrics.
+            for stat, value in mpi.stats.items():
+                obs.count(f"mpi.transport.{stat}", value)
+            for counter_name, value in trace.counters.items():
+                obs.count(counter_name, value)
+            result.obs = obs
         return result

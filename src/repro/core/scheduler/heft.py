@@ -203,12 +203,16 @@ class HeftScheduler(Scheduler):
             affinity_home[aff] = workers[i * len(workers) // len(int_affinities)]
 
         for task in order:
+            # .get() keeps the defaultdicts clean: indexing would
+            # materialize an empty entry per (task, node) probe.
+            staged = host_staging.get(task.task_id, 0.0)
+            preds = pred_bytes.get(task.task_id, [])
             candidates: list[tuple[float, float, int]] = []  # (EFT, EST, node)
             for node in workers:
                 ready = 0.0
-                if host_staging[task.task_id]:
-                    ready = mean_comm(host_staging[task.task_id])
-                for pred, nbytes in pred_bytes[task.task_id]:
+                if staged:
+                    ready = mean_comm(staged)
+                for pred, nbytes in preds:
                     pred_finish = planned[pred.task_id][1]
                     if assignment[pred.task_id] != node:
                         pred_finish += net.latency + nbytes / net.bandwidth
@@ -220,12 +224,12 @@ class HeftScheduler(Scheduler):
             best_eft = min(c[0] for c in candidates)
             affinity = task.meta.get("affinity")
             home = affinity_home.get(affinity) if affinity is not None else None
+            # A task with no predecessors and no host staging moves no
+            # input at all: its stickiness slack must be 0, not the
+            # phantom ``mean_comm(0) == latency`` of an empty transfer.
             input_comm = max(
-                (
-                    mean_comm(nbytes)
-                    for _p, nbytes in pred_bytes[task.task_id]
-                ),
-                default=mean_comm(host_staging[task.task_id]),
+                (mean_comm(nbytes) for _p, nbytes in preds),
+                default=mean_comm(staged) if staged else 0.0,
             )
             tol = best_eft * 1e-9 + 1e-15
             if home is not None:

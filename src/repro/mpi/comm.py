@@ -103,6 +103,9 @@ class MpiWorld:
         self.sim = cluster.sim
         self.overhead = overhead
         self.transport = transport
+        #: Observability sink, captured from the cluster at construction
+        #: (install an observer via ``Cluster.install_observer`` first).
+        self.obs = cluster.obs
         #: Transport-level counters (drops seen, retransmissions, acks,
         #: duplicate deliveries suppressed).
         self.stats: dict[str, int] = {
@@ -205,12 +208,24 @@ class Communicator:
 
     def _deliver(self, msg: Message):
         sim = self.mpi.sim
+        obs = self.mpi.obs
+        open_span = obs.begin(
+            "mpi", f"send t{msg.tag}", msg.src,
+            dst=msg.dst, nbytes=msg.nbytes, seq=msg.seq,
+        )
         if self.mpi.overhead:
             yield sim.timeout(self.mpi.overhead)
         yield from self.mpi.cluster.network.transfer(msg.src, msg.dst, msg.nbytes)
         if self.mpi._dropped(msg.src, msg.dst):
+            obs.end(open_span, dropped=True)
             return  # lost in the fabric; fire-and-forget senders never know
+        flow = obs.new_flow()
+        obs.end(open_span, flow_id=flow, flow_phase="s")
         yield self.mpi._queue(msg.dst, self.comm_id).put(msg)
+        obs.instant(
+            "mpi", f"recv t{msg.tag}", msg.dst,
+            flow_id=flow, flow_phase="f", src=msg.src,
+        )
 
     # -- reliable transport ---------------------------------------------------
     def _deliver_reliable(self, msg: Message):
@@ -221,6 +236,7 @@ class Communicator:
         actually keep.
         """
         sim = self.mpi.sim
+        obs = self.mpi.obs
         tc = self.transport
         net = self.mpi.cluster.network
         key = (msg.src, msg.dst, msg.seq)
@@ -228,15 +244,33 @@ class Communicator:
         self._ack_waiters[key] = ack
         # The wait window covers the ack's own uncontended round trip.
         rto = tc.rto + 2 * net.transfer_time(msg.dst, msg.src, tc.ack_bytes)
+        flow: int | None = None
         try:
             for attempt in range(tc.max_retries + 1):
                 if attempt:
                     self.mpi.stats["retransmissions"] += 1
+                open_span = obs.begin(
+                    "mpi", f"send t{msg.tag}", msg.src,
+                    dst=msg.dst, nbytes=msg.nbytes, seq=msg.seq,
+                    attempt=attempt,
+                )
                 if self.mpi.overhead:
                     yield sim.timeout(self.mpi.overhead)
                 yield from net.transfer(msg.src, msg.dst, msg.nbytes)
                 if not self.mpi._dropped(msg.src, msg.dst):
-                    self._transport_accept(msg)
+                    # Only the first accepted transmission carries the
+                    # flow arrow; duplicates are suppressed downstream.
+                    fresh = flow is None
+                    if fresh:
+                        flow = obs.new_flow()
+                    self._transport_accept(msg, flow if fresh else None)
+                    obs.end(
+                        open_span,
+                        flow_id=flow if fresh else None,
+                        flow_phase="s" if fresh else None,
+                    )
+                else:
+                    obs.end(open_span, dropped=True)
                 if ack.triggered:
                     return
                 yield AnyOf(sim, [ack, sim.timeout(rto)])
@@ -250,14 +284,21 @@ class Communicator:
         finally:
             self._ack_waiters.pop(key, None)
 
-    def _transport_accept(self, msg: Message) -> None:
+    def _transport_accept(self, msg: Message, flow_id: int | None = None) -> None:
         """Receiver-side transport: dedup, enqueue, and schedule the ack."""
+        obs = self.mpi.obs
         key = (msg.src, msg.seq)
         if key in self._delivered:
             self.mpi.stats["duplicates"] += 1
+            obs.instant("mpi", f"dup t{msg.tag}", msg.dst, src=msg.src)
         else:
             self._delivered.add(key)
             self.mpi._queue(msg.dst, self.comm_id).put(msg)
+            obs.instant(
+                "mpi", f"recv t{msg.tag}", msg.dst,
+                flow_id=flow_id, flow_phase="f" if flow_id is not None else None,
+                src=msg.src,
+            )
         self.mpi.sim.process(
             self._send_ack(msg), name=f"mpi-ack:{msg.dst}->{msg.src}"
         )
@@ -265,13 +306,18 @@ class Communicator:
     def _send_ack(self, msg: Message):
         sim = self.mpi.sim
         tc = self.transport
+        open_span = self.mpi.obs.begin(
+            "mpi", f"ack t{msg.tag}", msg.dst, dst=msg.src, seq=msg.seq
+        )
         if self.mpi.overhead:
             yield sim.timeout(self.mpi.overhead)
         yield from self.mpi.cluster.network.transfer(
             msg.dst, msg.src, tc.ack_bytes
         )
         self.mpi.stats["acks"] += 1
-        if self.mpi._dropped(msg.dst, msg.src):
+        dropped = self.mpi._dropped(msg.dst, msg.src)
+        self.mpi.obs.end(open_span, dropped=dropped)
+        if dropped:
             return  # the ack itself was lost; the sender will retransmit
         ack = self._ack_waiters.get((msg.src, msg.dst, msg.seq))
         if ack is not None and not ack.triggered:

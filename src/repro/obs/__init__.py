@@ -1,0 +1,48 @@
+"""repro.obs — the unified observability layer.
+
+One :class:`Observer` threads through the simulator, the MPI transport,
+the network fabric, the event system, and the OMPC runtime, collecting
+structured lifecycle spans (task / mpi / sched / data / ompc
+categories), message flow arrows, and time-series utilization metrics —
+all in simulated time at zero simulated cost.  Enable it with
+``OMPCConfig(trace=True)`` and export via
+:func:`~repro.obs.exporter.to_chrome_trace` or summarize with
+:func:`~repro.obs.report.utilization_summary`; or drive everything from
+the CLI: ``python -m repro.bench trace <scenario> --out trace.json``.
+"""
+
+from repro.obs.exporter import pack_lanes, to_chrome_trace, validate_chrome_trace
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.observer import (
+    CATEGORIES,
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    ObsSpan,
+)
+from repro.obs.report import (
+    LinkUsage,
+    NodeUsage,
+    UtilizationReport,
+    format_utilization,
+    utilization_summary,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "LinkUsage",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NodeUsage",
+    "NullObserver",
+    "ObsSpan",
+    "Observer",
+    "UtilizationReport",
+    "format_utilization",
+    "pack_lanes",
+    "to_chrome_trace",
+    "utilization_summary",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,181 @@
+"""Perfetto / Chrome ``chrome://tracing`` export of observer data.
+
+Layout: every cluster node becomes one trace *process* (``pid`` =
+node id, named ``node0 (head)``, ``node1``, ...).  Within a node, each
+span category owns a block of *threads* (``tid`` lanes) sized by greedy
+interval packing, so concurrent spans never overlap on one lane — the
+fix for the seed exporter that put every span on ``tid`` 0.  Message
+flows become Perfetto arrows (``ph: "s"``/``"f"`` pairs) from the send
+span to the receive instant, and every gauge becomes a counter track
+(``ph: "C"``) under its node's process.
+
+Load the result in https://ui.perfetto.dev or ``chrome://tracing``::
+
+    json.dump({"traceEvents": to_chrome_trace(obs)}, open("trace.json", "w"))
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
+
+#: Category → lane-block ordering inside one process.
+_CAT_ORDER = {"task": 0, "sched": 1, "data": 2, "mpi": 3, "ompc": 4}
+
+_US = 1e6  # trace timestamps are microseconds
+
+
+def pack_lanes(intervals: list[tuple[float, float]]) -> list[int]:
+    """Greedy interval partitioning: a lane index per interval.
+
+    Intervals are considered in ``(start, end)`` order; each goes to the
+    first lane whose previous occupant has already finished, so two
+    overlapping intervals never share a lane and the lane count equals
+    the maximum concurrency.  Returns lanes in input order.
+    """
+    lanes = [0] * len(intervals)
+    order = sorted(range(len(intervals)), key=lambda i: (intervals[i][0], intervals[i][1], i))
+    lane_ends: list[float] = []
+    for i in order:
+        start, end = intervals[i]
+        for lane, lane_end in enumerate(lane_ends):
+            if lane_end <= start:
+                lane_ends[lane] = end
+                lanes[i] = lane
+                break
+        else:
+            lanes[i] = len(lane_ends)
+            lane_ends.append(end)
+    return lanes
+
+
+def to_chrome_trace(observer: "Observer", head_node: int = 0) -> list[dict]:
+    """Serialize an observer's spans, flows, and gauges to trace events."""
+    events: list[dict] = []
+
+    # -- spans, grouped into per-(node, category) lane blocks ------------
+    groups: dict[tuple[int, str], list] = {}
+    for span in observer.spans:
+        groups.setdefault((span.node, span.cat), []).append(span)
+
+    lane_names: dict[tuple[int, int], str] = {}
+    next_tid: dict[int, int] = {}
+    for node, cat in sorted(groups, key=lambda k: (k[0], _CAT_ORDER.get(k[1], 99), k[1])):
+        spans = groups[(node, cat)]
+        lanes = pack_lanes([(s.start, s.end) for s in spans])
+        base = next_tid.get(node, 0)
+        for lane in range(max(lanes) + 1):
+            lane_names[(node, base + lane)] = f"{cat}/{lane}"
+        next_tid[node] = base + max(lanes) + 1
+        for span, lane in zip(spans, lanes):
+            tid = base + lane
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "ts": span.start * _US,
+                    "dur": span.duration * _US,
+                    "pid": span.node,
+                    "tid": tid,
+                    "args": dict(span.args),
+                }
+            )
+            if span.flow_id is not None:
+                if span.flow_phase == "s":
+                    # Bind the arrow tail inside the send span.
+                    events.append(
+                        {
+                            "name": "msg",
+                            "cat": f"{span.cat}.flow",
+                            "ph": "s",
+                            "id": span.flow_id,
+                            "ts": (span.start + span.end) / 2 * _US,
+                            "pid": span.node,
+                            "tid": tid,
+                        }
+                    )
+                elif span.flow_phase == "f":
+                    events.append(
+                        {
+                            "name": "msg",
+                            "cat": f"{span.cat}.flow",
+                            "ph": "f",
+                            "bp": "e",
+                            "id": span.flow_id,
+                            "ts": span.start * _US,
+                            "pid": span.node,
+                            "tid": tid,
+                        }
+                    )
+
+    # -- gauges as counter tracks ----------------------------------------
+    for gauge in observer.metrics.gauges.values():
+        for t, value in gauge.samples:
+            events.append(
+                {
+                    "name": gauge.name,
+                    "ph": "C",
+                    "ts": t * _US,
+                    "pid": gauge.node,
+                    "tid": 0,
+                    "args": {"value": value},
+                }
+            )
+
+    # -- process / thread metadata ---------------------------------------
+    nodes = {pid for pid, _cat in groups}
+    nodes.update(g.node for g in observer.metrics.gauges.values())
+    for node in sorted(nodes):
+        name = f"node{node} (head)" if node == head_node else f"node{node}"
+        events.append(
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": node, "tid": 0,
+             "args": {"name": name}}
+        )
+        events.append(
+            {"name": "process_sort_index", "ph": "M", "ts": 0, "pid": node,
+             "tid": 0, "args": {"sort_index": node}}
+        )
+    for (node, tid), lane_name in sorted(lane_names.items()):
+        events.append(
+            {"name": "thread_name", "ph": "M", "ts": 0, "pid": node, "tid": tid,
+             "args": {"name": lane_name}}
+        )
+    return events
+
+
+_KNOWN_PHASES = {"X", "B", "E", "I", "i", "s", "t", "f", "C", "M"}
+
+
+def validate_chrome_trace(events: list[dict]) -> list[str]:
+    """Check events against the Chrome trace schema; returns problems.
+
+    An empty list means the trace is loadable.  Used by the CI
+    ``trace-smoke`` step to fail on exporter regressions.
+    """
+    problems: list[str] = []
+    for i, event in enumerate(events):
+        where = f"event {i} ({event.get('name', '?')!r})"
+        ph = event.get("ph")
+        if ph is None:
+            problems.append(f"{where}: missing 'ph'")
+            continue
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+        if "ts" not in event:
+            problems.append(f"{where}: missing 'ts'")
+        elif not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            problems.append(f"{where}: bad 'ts' {event['ts']!r}")
+        if "pid" not in event:
+            problems.append(f"{where}: missing 'pid'")
+        if ph == "X":
+            if "tid" not in event:
+                problems.append(f"{where}: complete event missing 'tid'")
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs 'dur' >= 0")
+        if ph in ("s", "t", "f") and "id" not in event:
+            problems.append(f"{where}: flow event missing 'id'")
+    return problems

@@ -1,0 +1,228 @@
+"""The observability core: structured spans, flows, and metric hooks.
+
+One :class:`Observer` is threaded through every layer of a run — the
+simulator clock is read, never advanced, so instrumentation charges
+**zero simulated time**.  Components record:
+
+* **spans** — closed intervals on a ``(node, category)`` lane.  The
+  span taxonomy (see DESIGN.md):
+
+  ========  ======================================================
+  category  what its spans cover
+  ========  ======================================================
+  ``task``  target-task lifecycle: ``wait-slot``, ``fetch``,
+            ``execute``, ``commit`` (head-side orchestration) and
+            ``kernel`` (worker-side compute, incl. GPU staging)
+  ``mpi``   point-to-point messages: ``send``/``recv``/``ack``
+            (one span per transmission attempt under the reliable
+            transport, with ``attempt``/``dropped`` args)
+  ``sched``  runtime phases: ``startup``, ``task-creation``,
+            ``heft``, ``shutdown``
+  ``data``  data-manager traffic: per-buffer ``move`` and
+            ``delete`` operations
+  ``ompc``  event-system internals: per-event handler spans and
+            the first-event lazy-initialization interval
+  ========  ======================================================
+
+* **flows** — a send span carries ``flow_phase="s"`` and its matching
+  receive instant ``flow_phase="f"`` under one ``flow_id``; the
+  exporter turns the pair into a Perfetto arrow from sender lane to
+  receiver lane.
+
+* **metrics** — counters and time-series gauges on the attached
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+When tracing is off (``OMPCConfig.trace`` is False, the default) the
+shared :data:`NULL_OBSERVER` is installed instead: every method is a
+no-op, so the instrumented hot paths cost a handful of dead calls and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+#: The span categories the exporter and report know about, in lane order.
+CATEGORIES = ("task", "sched", "data", "mpi", "ompc")
+
+
+@dataclass(frozen=True)
+class ObsSpan:
+    """A closed interval on one node's timeline."""
+
+    cat: str
+    name: str
+    node: int
+    start: float
+    end: float
+    args: tuple = ()
+    #: Flow-arrow linkage: spans sharing a ``flow_id`` are connected
+    #: ``"s"`` (origin) → ``"f"`` (terminus) by the exporter.
+    flow_id: int | None = None
+    flow_phase: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _OpenObsSpan:
+    """Mutable handle between :meth:`Observer.begin` and ``end``."""
+
+    cat: str
+    name: str
+    node: int
+    start: float
+    args: dict
+
+
+class Observer:
+    """Collects spans and metrics from one simulation run."""
+
+    enabled = True
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.spans: list[ObsSpan] = []
+        self.metrics = MetricsRegistry()
+        self._flow_ids = itertools.count(1)
+
+    # -- spans ----------------------------------------------------------
+    def span(
+        self,
+        cat: str,
+        name: str,
+        node: int,
+        start: float,
+        end: float,
+        flow_id: int | None = None,
+        flow_phase: str | None = None,
+        **args: Any,
+    ) -> ObsSpan:
+        span = ObsSpan(
+            cat, name, node, start, end,
+            tuple(sorted(args.items())), flow_id, flow_phase,
+        )
+        self.spans.append(span)
+        return span
+
+    def begin(self, cat: str, name: str, node: int, **args: Any) -> _OpenObsSpan:
+        return _OpenObsSpan(cat, name, node, self.sim.now, args)
+
+    def end(
+        self,
+        open_span: _OpenObsSpan | None,
+        flow_id: int | None = None,
+        flow_phase: str | None = None,
+        **args: Any,
+    ) -> ObsSpan | None:
+        """Close ``open_span`` at the current time (``None`` is a no-op,
+        so call sites may conditionally skip :meth:`begin`)."""
+        if open_span is None:
+            return None
+        merged = dict(open_span.args, **args) if args else open_span.args
+        return self.span(
+            open_span.cat, open_span.name, open_span.node,
+            open_span.start, self.sim.now,
+            flow_id=flow_id, flow_phase=flow_phase, **merged,
+        )
+
+    def instant(
+        self,
+        cat: str,
+        name: str,
+        node: int,
+        flow_id: int | None = None,
+        flow_phase: str | None = None,
+        **args: Any,
+    ) -> ObsSpan:
+        """A zero-duration span marking one point in time."""
+        now = self.sim.now
+        return self.span(cat, name, node, now, now, flow_id, flow_phase, **args)
+
+    def new_flow(self) -> int:
+        """Allocate a fresh flow id for a send→receive arrow pair."""
+        return next(self._flow_ids)
+
+    # -- metrics ----------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def gauge_set(self, name: str, value: float, node: int = 0) -> None:
+        self.metrics.gauge(name, node).set(self.sim.now, value)
+
+    def gauge_add(self, name: str, delta: float, node: int = 0) -> None:
+        self.metrics.gauge(name, node).add(self.sim.now, delta)
+
+    # -- queries ----------------------------------------------------------
+    def find(
+        self, cat: str | None = None, name: str | None = None,
+        node: int | None = None,
+    ) -> Iterator[ObsSpan]:
+        for span in self.spans:
+            if cat is not None and span.cat != cat:
+                continue
+            if name is not None and span.name != name:
+                continue
+            if node is not None and span.node != node:
+                continue
+            yield span
+
+    def categories(self) -> set[str]:
+        return {span.cat for span in self.spans}
+
+
+class NullObserver:
+    """The do-nothing observer installed when tracing is off.
+
+    Mirrors the full :class:`Observer` surface; every method returns
+    immediately so instrumented code needs no ``if traced:`` guards on
+    simple calls (sites that would *build* expensive arguments should
+    still check :attr:`enabled`).
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def span(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def begin(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def end(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def new_flow(self) -> int:
+        return 0
+
+    def count(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def gauge_set(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def gauge_add(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def find(self, *args: Any, **kwargs: Any) -> Iterator[ObsSpan]:
+        return iter(())
+
+    def categories(self) -> set[str]:
+        return set()
+
+
+#: Shared no-op observer; safe to use as a default everywhere.
+NULL_OBSERVER = NullObserver()

@@ -307,6 +307,10 @@ class Simulator:
             live = self._live_process_names()
             if live:
                 raise DeadlockError(live)
+        if stop_at is not None and self._now < stop_at:
+            # The heap drained before the horizon: idle time still
+            # passes, so the clock advances to exactly ``until``.
+            self._now = stop_at
         return self._now
 
     def _live_process_names(self) -> list[str]:

@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro.bench trace`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.tracecmd import main as trace_main
+from repro.obs import validate_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def traced_output(tmp_path_factory):
+    out = tmp_path_factory.mktemp("trace") / "trace.json"
+    code = trace_main(
+        [
+            "stencil_1d",
+            "--nodes", "3",
+            "--steps", "2",
+            "--iterations", "100000",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    return json.loads(out.read_text())
+
+
+class TestTraceCli:
+    def test_dispatch_through_bench_main(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        code = bench_main(
+            ["trace", "trivial", "--nodes", "2", "--steps", "1",
+             "--iterations", "1000", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "== utilization" in capsys.readouterr().out
+
+    def test_rejects_single_node_cluster(self):
+        with pytest.raises(SystemExit):
+            trace_main(["trivial", "--nodes", "1"])
+
+    def test_trace_json_validates(self, traced_output):
+        events = traced_output["traceEvents"]
+        assert validate_chrome_trace(events) == []
+
+    def test_trace_has_per_node_processes_and_lanes(self, traced_output):
+        events = traced_output["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        pids = {e["pid"] for e in spans}
+        assert pids >= {0, 1, 2}  # head + both workers
+        # The head's concurrent orchestration uses more than one lane.
+        head_tids = {e["tid"] for e in spans if e["pid"] == 0}
+        assert len(head_tids) > 1
+
+    def test_trace_covers_at_least_four_categories(self, traced_output):
+        events = traced_output["traceEvents"]
+        cats = {e["cat"] for e in events if e["ph"] == "X"}
+        assert len(cats & {"task", "sched", "data", "mpi", "ompc"}) >= 4
+
+    def test_trace_contains_flow_arrows(self, traced_output):
+        events = traced_output["traceEvents"]
+        starts = {e["id"] for e in events if e["ph"] == "s"}
+        finishes = {e["id"] for e in events if e["ph"] == "f"}
+        assert starts
+        assert starts == finishes
+
+    def test_utilization_table_printed(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        assert trace_main(
+            ["stencil_1d", "--nodes", "3", "--steps", "2",
+             "--iterations", "100000", "--out", str(out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "== utilization" in text
+        assert "link" in text and "occupancy %" in text
+        assert "node1" in text
+        assert "head in-flight slots" in text

@@ -94,3 +94,20 @@ class TestTraceRecorder:
         # Distinct components map to distinct pids.
         assert len({e["pid"] for e in spans}) == 2
         json.dumps(events)  # must be serializable
+
+    def test_chrome_trace_concurrent_spans_get_distinct_lanes(self):
+        # Regression: every span used to be exported with tid 0, so
+        # overlapping spans stacked on one lane in the viewer.
+        cluster = Cluster(ClusterSpec(num_nodes=1))
+        cluster.trace.record("task", "a", 0.0, 2.0)
+        cluster.trace.record("task", "b", 1.0, 3.0)
+        cluster.trace.record("task", "c", 2.5, 4.0)
+        spans = {
+            e["name"]: e for e in cluster.trace.to_chrome_trace()
+            if e["ph"] == "X"
+        }
+        assert spans["a"]["tid"] != spans["b"]["tid"]
+        # c starts after a ends, so it reuses a freed lane.
+        assert spans["c"]["tid"] == spans["a"]["tid"]
+        # All on the same process (one component).
+        assert len({e["pid"] for e in spans.values()}) == 1

@@ -133,6 +133,24 @@ class TestHeft:
         with pytest.raises(ValueError):
             HeftScheduler(affinity_stickiness=-1.0)
 
+    def test_no_phantom_input_comm_for_predecessor_free_tasks(self):
+        # Regression: a task with no predecessors and no host staging
+        # moves zero input bytes, yet the stickiness slack used to be
+        # priced at mean_comm(0) == latency.  That phantom transfer let
+        # the affinity home (a slow node here) absorb a genuinely
+        # faster node's win.
+        prog = OmpProgram()
+        a = prog.buffer(1000, name="a")
+        prog.target(depend=[depend_out(a)], cost=1e-6, name="t0", affinity=0)
+        sched = HeftScheduler().schedule(
+            prog.graph,
+            cluster(n=3, overrides=((2, NodeSpec(speed=2.0)),)),
+        )
+        (task,) = (t for t in prog.graph.tasks() if t.name == "t0")
+        # The fast worker must win: no input traffic justifies staying
+        # on the affinity's pre-seeded home (node 1).
+        assert sched.assignment[task.task_id] == 2
+
     def test_faster_node_preferred(self):
         prog = wide_program(width=1)
         fast = NodeSpec(cores=48, threads=96, speed=10.0)

@@ -1,0 +1,130 @@
+"""Unit tests for lane packing and the Chrome/Perfetto exporter."""
+
+from repro.obs.exporter import pack_lanes, to_chrome_trace, validate_chrome_trace
+from repro.obs.observer import Observer
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestPackLanes:
+    def test_empty(self):
+        assert pack_lanes([]) == []
+
+    def test_disjoint_intervals_share_one_lane(self):
+        assert pack_lanes([(0, 1), (1, 2), (2, 3)]) == [0, 0, 0]
+
+    def test_overlapping_intervals_get_distinct_lanes(self):
+        lanes = pack_lanes([(0.0, 2.0), (1.0, 3.0)])
+        assert lanes[0] != lanes[1]
+
+    def test_lane_count_equals_max_concurrency(self):
+        # Three mutually overlapping, then one that reuses a freed lane.
+        lanes = pack_lanes([(0, 4), (1, 5), (2, 6), (4.5, 7)])
+        assert len(set(lanes)) == 3
+        assert lanes[3] == lanes[0]  # (4.5,7) fits after (0,4)
+
+    def test_result_is_in_input_order(self):
+        lanes = pack_lanes([(5, 6), (0, 1)])
+        assert lanes == [0, 0]
+
+
+def make_observer():
+    sim = FakeSim()
+    obs = Observer(sim)
+    return sim, obs
+
+
+class TestToChromeTrace:
+    def test_concurrent_spans_get_distinct_tids(self):
+        _sim, obs = make_observer()
+        obs.span("task", "a", 0, 0.0, 2.0)
+        obs.span("task", "b", 0, 1.0, 3.0)
+        events = [e for e in to_chrome_trace(obs) if e["ph"] == "X"]
+        assert events[0]["tid"] != events[1]["tid"]
+
+    def test_categories_occupy_disjoint_lane_blocks_per_node(self):
+        _sim, obs = make_observer()
+        obs.span("task", "a", 0, 0.0, 1.0)
+        obs.span("mpi", "b", 0, 0.0, 1.0)  # same interval, other category
+        events = [e for e in to_chrome_trace(obs) if e["ph"] == "X"]
+        assert events[0]["tid"] != events[1]["tid"]
+
+    def test_pid_is_node_id(self):
+        _sim, obs = make_observer()
+        obs.span("task", "a", 3, 0.0, 1.0)
+        (event,) = [e for e in to_chrome_trace(obs) if e["ph"] == "X"]
+        assert event["pid"] == 3
+
+    def test_flow_events_share_id_across_nodes(self):
+        _sim, obs = make_observer()
+        flow = obs.new_flow()
+        obs.span("mpi", "send", 0, 0.0, 1.0, flow_id=flow, flow_phase="s")
+        obs.span("mpi", "recv", 1, 1.0, 1.0, flow_id=flow, flow_phase="f")
+        events = to_chrome_trace(obs)
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"] == flow
+        assert finishes[0]["bp"] == "e"
+
+    def test_gauges_become_counter_events(self):
+        sim, obs = make_observer()
+        sim.now = 1.5
+        obs.gauge_add("node1.evq", 2, node=1)
+        counters = [e for e in to_chrome_trace(obs) if e["ph"] == "C"]
+        assert counters == [
+            {
+                "name": "node1.evq",
+                "ph": "C",
+                "ts": 1.5e6,
+                "pid": 1,
+                "tid": 0,
+                "args": {"value": 2.0},
+            }
+        ]
+
+    def test_metadata_names_processes_and_threads(self):
+        _sim, obs = make_observer()
+        obs.span("task", "a", 0, 0.0, 1.0)
+        obs.span("task", "b", 1, 0.0, 1.0)
+        metas = [e for e in to_chrome_trace(obs) if e["ph"] == "M"]
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in metas
+            if e["name"] == "process_name"
+        }
+        assert names == {0: "node0 (head)", 1: "node1"}
+        assert any(e["name"] == "thread_name" for e in metas)
+
+    def test_exported_trace_validates(self):
+        sim, obs = make_observer()
+        flow = obs.new_flow()
+        obs.span("mpi", "send", 0, 0.0, 1.0, flow_id=flow, flow_phase="s")
+        obs.span("mpi", "recv", 1, 1.0, 1.0, flow_id=flow, flow_phase="f")
+        sim.now = 2.0
+        obs.gauge_add("head.inflight", 1)
+        assert validate_chrome_trace(to_chrome_trace(obs)) == []
+
+
+class TestValidateChromeTrace:
+    def test_flags_missing_fields(self):
+        problems = validate_chrome_trace(
+            [
+                {"name": "x"},  # no ph
+                {"name": "y", "ph": "Z", "ts": 0, "pid": 0},  # unknown ph
+                {"name": "z", "ph": "X", "ts": -1, "pid": 0},  # bad ts, no tid/dur
+                {"name": "w", "ph": "s", "ts": 0, "pid": 0},  # flow without id
+            ]
+        )
+        assert len(problems) == 6
+        assert any("missing 'ph'" in p for p in problems)
+        assert any("unknown phase" in p for p in problems)
+        assert any("flow event missing 'id'" in p for p in problems)
+
+    def test_accepts_clean_events(self):
+        assert validate_chrome_trace(
+            [{"name": "a", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0}]
+        ) == []

@@ -1,0 +1,111 @@
+"""Property-based tests: DataManager coherency under mixed op streams.
+
+Complements ``test_core_properties.py`` (pure target-task streams) by
+interleaving enter-data, target-task, and exit-data operations — the
+full §4.3 lifecycle — and checking the invariants *after every step*,
+not only at the end of the stream.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datamanager import HOST, DataManager
+from repro.omp import Buffer
+from repro.omp.task import Dep, DepType, Task, TaskKind
+
+NUM_BUFFERS = 4
+buffer_ix = st.integers(min_value=0, max_value=NUM_BUFFERS - 1)
+worker = st.integers(min_value=1, max_value=4)
+dep_types = st.sampled_from([DepType.IN, DepType.OUT, DepType.INOUT])
+
+enter_op = st.tuples(st.just("enter"), buffer_ix, worker)
+exit_op = st.tuples(st.just("exit"), buffer_ix, st.just(0))
+task_op = st.tuples(
+    st.just("task"),
+    st.lists(st.tuples(buffer_ix, dep_types), min_size=1, max_size=3),
+    worker,
+)
+
+op_streams = st.lists(
+    st.one_of(enter_op, task_op, exit_op), min_size=1, max_size=30
+)
+
+
+def apply_task(dm, buffers, task_id, clauses, node):
+    deps = tuple(Dep(buffers[bi], dt) for bi, dt in clauses)
+    task = Task(task_id=task_id, kind=TaskKind.TARGET, deps=deps)
+    moves, allocs = dm.plan_for_task(task, node)
+    for buf in allocs:
+        dm.commit_alloc(buf, node)
+    for move in moves:
+        # Invariant: a move planned by plan_for_task always commits —
+        # the planner must never name a source holding no valid copy.
+        dm.commit_move(move)
+    return task, dm.commit_task_done(task, node)
+
+
+class TestDataManagerLifecycleInvariants:
+    @given(op_streams)
+    @settings(deadline=None, max_examples=100)
+    def test_invariants_hold_after_every_operation(self, ops):
+        buffers = [Buffer(100, name=f"b{i}") for i in range(NUM_BUFFERS)]
+        dm = DataManager()
+        for step, op in enumerate(ops):
+            if op[0] == "enter":
+                _kind, bi, node = op
+                for move in dm.plan_enter_data(buffers[bi], node):
+                    dm.commit_move(move)
+                dm.commit_enter_data(buffers[bi], node)
+            elif op[0] == "exit":
+                _kind, bi, _ = op
+                for move in dm.plan_exit_data(buffers[bi]):
+                    dm.commit_move(move)
+                removals = dm.commit_exit_data(buffers[bi])
+                # Exit data leaves exactly the host copy.
+                assert dm.locations(buffers[bi]) == {HOST}
+                assert all(holder != HOST for _b, holder in removals)
+            else:
+                _kind, clauses, node = op
+                task, stale = apply_task(dm, buffers, step, clauses, node)
+                written = {b.buffer_id for b in task.writes}
+                for dep in task.deps:
+                    if dep.buffer.buffer_id in written:
+                        # A writer invalidates every replica: exactly
+                        # one copy remains, on the executing node.
+                        assert dm.locations(dep.buffer) == {node}
+                        assert dm.latest(dep.buffer) == node
+                    else:
+                        assert dm.is_resident(dep.buffer, node)
+                # Stale removals never point at surviving copies.
+                for buf, holder in stale:
+                    assert holder not in dm.locations(buf)
+
+            # Global invariants after *every* operation.
+            for buf in buffers:
+                locations = dm.locations(buf)
+                assert locations, f"{buf.name} lost all copies at step {step}"
+                assert dm.latest(buf) in locations
+
+    @given(op_streams)
+    @settings(deadline=None, max_examples=60)
+    def test_replicas_only_grow_through_reads(self, ops):
+        """A buffer is replicated iff reads spread it; any write
+        collapses it back to a single copy."""
+        buffers = [Buffer(100, name=f"b{i}") for i in range(NUM_BUFFERS)]
+        dm = DataManager()
+        for step, op in enumerate(ops):
+            if op[0] == "enter":
+                _kind, bi, node = op
+                for move in dm.plan_enter_data(buffers[bi], node):
+                    dm.commit_move(move)
+                dm.commit_enter_data(buffers[bi], node)
+            elif op[0] == "exit":
+                _kind, bi, _ = op
+                for move in dm.plan_exit_data(buffers[bi]):
+                    dm.commit_move(move)
+                dm.commit_exit_data(buffers[bi])
+            else:
+                _kind, clauses, node = op
+                task, _stale = apply_task(dm, buffers, step, clauses, node)
+                for buf in task.writes:
+                    assert len(dm.locations(buf)) == 1

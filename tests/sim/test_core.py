@@ -87,6 +87,23 @@ class TestTimeAdvance:
         with pytest.raises(ValueError):
             sim.run(until=1.0)
 
+    def test_run_until_advances_clock_when_heap_drains_early(self, sim):
+        # Regression: the last event at t=3 used to leave now() at 3
+        # even though the caller asked to run until t=10.
+        sim.timeout(3.0)
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_run_until_on_empty_heap_advances_clock(self, sim):
+        assert sim.run(until=7.0) == 7.0
+        assert sim.now == 7.0
+
+    def test_run_until_repeated_horizons_accumulate(self, sim):
+        sim.timeout(1.0)
+        assert sim.run(until=4.0) == 4.0
+        assert sim.run(until=6.0) == 6.0
+        assert sim.now == 6.0
+
 
 class TestProcess:
     def test_process_returns_value(self, sim):
