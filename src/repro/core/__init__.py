@@ -24,6 +24,7 @@ from repro.core.faultmodel import (
     NodeStall,
 )
 from repro.core.faults import (
+    FailoverEvent,
     FailureInjector,
     FaultTolerantRuntime,
     FTRunResult,
@@ -31,6 +32,7 @@ from repro.core.faults import (
     NodeFailure,
     RecoveryError,
 )
+from repro.core.headlog import HeadLog, LogRecord, Replicator
 from repro.core.runtime import OMPCRunResult, OMPCRuntime
 from repro.core.scheduler import (
     HeftScheduler,
@@ -43,11 +45,14 @@ from repro.core.scheduler import (
 __all__ = [
     "DataManager",
     "FTRunResult",
+    "FailoverEvent",
     "FailureInjector",
     "FaultPlan",
     "FaultTolerantRuntime",
+    "HeadLog",
     "HeartbeatRing",
     "HeftScheduler",
+    "LogRecord",
     "LinkDegradation",
     "LinkLoss",
     "MinLoadScheduler",
@@ -59,6 +64,7 @@ __all__ = [
     "OMPCRuntime",
     "RandomScheduler",
     "RecoveryError",
+    "Replicator",
     "RoundRobinScheduler",
     "Schedule",
 ]

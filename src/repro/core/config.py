@@ -101,6 +101,21 @@ class OMPCConfig:
     #: suspect dead.
     heartbeat_ping_timeout: float = 1.0 * MILLISECOND
 
+    # -- head failover (repro.core.headlog extension) -----------------------
+    #: Standby workers replicating the head's commit log (nodes
+    #: ``1..head_standbys``, clamped to the worker count).  0 disables
+    #: replication entirely (the seed behavior: a head crash is fatal).
+    head_standbys: int = 0
+    #: Bounded replication lag: dispatch stalls once any live standby
+    #: falls more than this many log records behind.
+    replication_max_lag: int = 64
+    #: Wire size of one metadata log record (completions, dispatches,
+    #: directory updates); bootstrap/checkpoint records add payload bytes.
+    log_record_bytes: float = 64.0
+    #: Per-record cost for the elected head to replay its log replica
+    #: into a fresh directory/task-set during failover.
+    log_replay_unit_cost: float = 1.0 * MICROSECOND
+
     # -- calibrated overheads ------------------------------------------------
     startup_time: float = 12.0 * MILLISECOND
     shutdown_time: float = 8.0 * MILLISECOND
@@ -136,6 +151,14 @@ class OMPCConfig:
             raise ValueError("heartbeat_suspect_windows must be >= 1")
         if self.heartbeat_ping_timeout <= 0:
             raise ValueError("heartbeat_ping_timeout must be > 0")
+        if self.head_standbys < 0:
+            raise ValueError("head_standbys must be >= 0 (0 = off)")
+        if self.replication_max_lag < 1:
+            raise ValueError("replication_max_lag must be >= 1")
+        if self.log_record_bytes < 0:
+            raise ValueError("log_record_bytes must be >= 0")
+        if self.log_replay_unit_cost < 0:
+            raise ValueError("log_replay_unit_cost must be >= 0")
         for field_name in (
             "startup_time",
             "shutdown_time",

@@ -2,7 +2,9 @@
 
 Lives at the agnostic layer and keeps one coherent view of where every
 mapped buffer resides across the cluster.  Location ``HOST`` (node 0)
-is the head node; workers are nodes 1..N.
+is the head node; workers are nodes 1..N.  After a head failover the
+directory is *rehomed* at the elected standby (:meth:`DataManager.rehome`)
+and the host image follows it.
 
 Coherency rules (verbatim from the paper):
 
@@ -62,11 +64,26 @@ class DataManager:
     planning pure makes the coherency logic directly unit-testable.
     """
 
-    def __init__(self):
+    def __init__(self, home: int = HOST):
         self._state: dict[int, _BufferState] = {}
+        #: The node hosting the program's "host" buffer image.  Node 0
+        #: until a head failover rehomes the directory at the elected
+        #: standby (host payloads travel by reference, so the new head
+        #: serves the same objects).
+        self.home = home
+
+    def rehome(self, node: int) -> None:
+        """Move the host designation to ``node`` (head failover)."""
+        self.home = node
 
     def _st(self, buffer: Buffer) -> _BufferState:
-        return self._state.setdefault(buffer.buffer_id, _BufferState(buffer))
+        st = self._state.get(buffer.buffer_id)
+        if st is None:
+            st = _BufferState(
+                buffer, locations={self.home}, latest=self.home
+            )
+            self._state[buffer.buffer_id] = st
+        return st
 
     # -- queries -----------------------------------------------------------
     def locations(self, buffer: Buffer) -> set[int]:
@@ -170,17 +187,29 @@ class DataManager:
                 st.locations.add(node)
         return stale
 
-    def commit_restore(self, buffer: Buffer, node: int = HOST) -> None:
+    def commit_restore(self, buffer: Buffer, node: int | None = None) -> None:
         """Re-materialize a buffer on ``node`` after total copy loss.
 
         Used by checkpoint recovery: every previous location is gone
         (the failed nodes were already dropped by
         :meth:`on_node_failure`), and the restored bytes become the sole
-        authoritative copy.
+        authoritative copy.  ``node`` defaults to the current home.
         """
+        if node is None:
+            node = self.home
         st = self._st(buffer)
         st.locations = {node}
         st.latest = node
+
+    def invalidate(self, buffer: Buffer) -> None:
+        """Drop *every* copy of ``buffer`` from the directory.
+
+        Head failover uses this for buffers with an ambiguous in-place
+        (INOUT) dispatch in the adopted log — the value may or may not
+        carry the mutation, so only a checkpoint restore plus write-log
+        replay can reproduce a well-defined state.
+        """
+        self._st(buffer).locations.clear()
 
     # -- failures -----------------------------------------------------------
     def on_node_failure(self, node: int) -> list[Buffer]:
@@ -191,8 +220,11 @@ class DataManager:
         buffers with surviving replicas, ``latest`` is redirected to a
         deterministic survivor.
         """
-        if node == HOST:
-            raise ValueError("the head node cannot fail in this model")
+        if node == self.home:
+            raise ValueError(
+                "cannot drop the home node's copies; rehome the "
+                "directory at the elected head first (head failover)"
+            )
         lost: list[Buffer] = []
         for state in self._state.values():
             if node not in state.locations:
@@ -209,9 +241,9 @@ class DataManager:
     def plan_exit_data(self, buffer: Buffer) -> list[Move]:
         """Retrieve the final value to the head node."""
         st = self._st(buffer)
-        if HOST in st.locations and st.latest == HOST:
+        if self.home in st.locations and st.latest == self.home:
             return []
-        return [Move(buffer, st.latest, HOST)]
+        return [Move(buffer, st.latest, self.home)]
 
     def commit_exit_data(self, buffer: Buffer) -> list[tuple[Buffer, int]]:
         """Mark the buffer host-resident; return worker copies to remove.
@@ -221,8 +253,9 @@ class DataManager:
         """
         st = self._st(buffer)
         removals = [
-            (buffer, holder) for holder in sorted(st.locations - {HOST})
+            (buffer, holder)
+            for holder in sorted(st.locations - {self.home})
         ]
-        st.locations = {HOST}
-        st.latest = HOST
+        st.locations = {self.home}
+        st.latest = self.home
         return removals

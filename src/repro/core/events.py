@@ -111,6 +111,16 @@ class EventSystem:
         #: (task_id, attempt) pairs whose kernel launch was revoked
         #: (straggler speculation: the other attempt already won).
         self._cancelled_execs: set[tuple[int, int]] = set()
+        #: Per-node idempotence state for head failover: task ids this
+        #: node already executed (dedup table), EXECUTEs currently
+        #: running (so a re-issued dispatch serializes behind the
+        #: original instead of double-applying an in-place kernel), and
+        #: the newest head epoch seen (fences zombie dispatches from a
+        #: deposed head).
+        n = cluster.num_nodes
+        self._exec_done: list[set[int]] = [set() for _ in range(n)]
+        self._exec_inflight: list[dict[int, Any]] = [{} for _ in range(n)]
+        self._node_epoch: list[int] = [0] * n
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -180,13 +190,13 @@ class EventSystem:
         self._cancelled_execs.add((task_id, attempt))
 
     def fail_node(self, node_id: int) -> None:
-        """Crash a worker node: kill its event machinery, lose its memory.
+        """Crash a node: kill its event machinery, lose its memory.
 
-        The head (node 0) cannot fail in this model — the paper's design
-        centralizes control there (§7 discusses this limitation).
+        Any node may fail, including the head (node 0): the
+        fault-tolerant runtime replicates head state to standbys and
+        fails over (see :mod:`repro.core.headlog`); without standbys a
+        head crash is unrecoverable and surfaces as ``RecoveryError``.
         """
-        if node_id == 0:
-            raise ValueError("the head node cannot fail in this model")
         if not self._started:
             raise RuntimeError("event system not started")
         if node_id in self._failed:
@@ -329,9 +339,50 @@ class EventSystem:
 
     def _handle_execute(self, node_id: int, note: Notification, mem, rank):
         cfg = self.config
-        # 5a in Fig. 3: fetch which function to run and its parameters.
-        params = yield from rank.recv(src=note.origin, tag=note.tag)
-        task: Task = params.payload
+        # 5a in Fig. 3: fetch which function to run and its parameters
+        # (a self-dispatching head embeds them in the notification).
+        if "params" in note.info:
+            task: Task = note.info["params"]
+        else:
+            params = yield from rank.recv(src=note.origin, tag=note.tag)
+            task = params.payload
+        tid = task.task_id
+        # Head-failover fencing: a dispatch stamped with an older head
+        # epoch comes from a deposed (possibly zombie) head whose
+        # messages were still in flight — discard it so it can never
+        # double-apply work the elected head already re-issued.
+        epoch = note.info.get("fo_epoch", 0)
+        if epoch < self._node_epoch[node_id]:
+            self.trace.count("ompc.exec_fenced")
+            yield from rank.send(note.origin, "fenced", cfg.completion_bytes,
+                                 note.tag)
+            return
+        self._node_epoch[node_id] = epoch
+        if note.info.get("dedup"):
+            # Idempotent re-issue after failover: if the original
+            # dispatch is still running here, wait it out, then answer
+            # from the dedup table instead of running the task twice.
+            prior = self._exec_inflight[node_id].get(tid)
+            if prior is not None and not prior.triggered:
+                yield prior
+            if tid in self._exec_done[node_id]:
+                self.trace.count("ompc.exec_dedup_hits")
+                yield from rank.send(note.origin, "done",
+                                     cfg.completion_bytes, note.tag)
+                return
+        marker = self.sim.event(f"exec{node_id}:{tid}")
+        self._exec_inflight[node_id][tid] = marker
+        try:
+            yield from self._run_execute(node_id, note, mem, rank, task)
+        finally:
+            if self._exec_inflight[node_id].get(tid) is marker:
+                del self._exec_inflight[node_id][tid]
+            if not marker.triggered:
+                marker.succeed()
+
+    def _run_execute(self, node_id: int, note: Notification, mem, rank,
+                     task: Task):
+        cfg = self.config
         node = self.cluster.node(node_id)
         attempt = note.info.get("attempt", 0)
         kernel_span = self.obs.begin(
@@ -433,6 +484,8 @@ class EventSystem:
             self.trace.count("ompc.page_faults", fault_pages)
             completion = ("done", tuple(written))
         self.obs.end(kernel_span)
+        if not revoked():
+            self._exec_done[node_id].add(task.task_id)
         yield from rank.send(note.origin, completion, cfg.completion_bytes,
                              note.tag)
 
@@ -581,7 +634,8 @@ class EventSystem:
             yield from self._await_completion(origin, ANY_SOURCE, tag)
         self.trace.count("ompc.bytes_broadcast", nbytes * len(dsts))
 
-    def execute(self, dst: int, task: Task, origin: int = 0, attempt: int = 0):
+    def execute(self, dst: int, task: Task, origin: int = 0, attempt: int = 0,
+                dedup: bool = False, fo_epoch: int = 0):
         """Generator: run a target region on ``dst`` (the EXECUTE event).
 
         Returns the tuple of buffer ids the device *detected* as written
@@ -589,14 +643,35 @@ class EventSystem:
         ``None`` (the caller trusts the depend clauses).  ``attempt``
         identifies this dispatch for :meth:`cancel_execution` (straggler
         speculation re-dispatches the same task under a new attempt id).
+        ``dedup`` marks a post-failover re-issue the worker may answer
+        from its completion table; ``fo_epoch`` stamps the dispatch with
+        the issuing head's epoch so workers can fence zombie dispatches
+        from a deposed head.
         """
-        tag = yield from self._begin(origin, dst, EventType.EXECUTE,
-                                     {"task_id": task.task_id,
-                                      "attempt": attempt})
-        comm = self.pool.select(tag)
-        req = comm.rank(origin).isend(dst, task, self.config.params_bytes, tag)
-        msg = yield from self._await_completion(origin, dst, tag)
-        yield from req.wait()
+        info: dict[str, Any] = {"task_id": task.task_id, "attempt": attempt}
+        if dedup:
+            info["dedup"] = True
+        if fo_epoch:
+            info["fo_epoch"] = fo_epoch
+        if dst == origin:
+            # Self-dispatch: after a head failover the elected head is
+            # both dispatcher and worker.  A separate params message
+            # and the completion would both match ``(src, tag) ==
+            # (origin, tag)`` on this node — the origin's completion
+            # wait would swallow the params — so the params ride inside
+            # the notification instead.
+            info["params"] = task
+            tag = yield from self._begin(origin, dst, EventType.EXECUTE,
+                                         info)
+            msg = yield from self._await_completion(origin, dst, tag)
+        else:
+            tag = yield from self._begin(origin, dst, EventType.EXECUTE,
+                                         info)
+            comm = self.pool.select(tag)
+            req = comm.rank(origin).isend(dst, task,
+                                          self.config.params_bytes, tag)
+            msg = yield from self._await_completion(origin, dst, tag)
+            yield from req.wait()
         if isinstance(msg.payload, tuple) and msg.payload[0] == "done":
             return msg.payload[1]
         return None

@@ -31,6 +31,21 @@ This module implements that future version on the simulated cluster:
   too-slow target task to a second node and keeps whichever attempt
   finishes first.  An unrecoverable loss raises :class:`RecoveryError`.
 
+**The head node may fail too.**  With ``OMPCConfig.head_standbys > 0``
+the head streams its commit log (task completions, directory updates,
+checkpoint snapshots, dispatch intents) to standby workers through
+:mod:`repro.core.headlog`.  When the ring confirms the head dead — a
+quorum of its two ring neighbors, never a self-confirmation through
+the dead head itself — the reporter coordinates an election among the
+standbys, the most-caught-up replica wins deterministically, and the
+new head rebuilds the data-manager directory, completed-task set, and
+checkpoint store by replaying its replica.  Unacknowledged dispatches
+are re-issued idempotently (workers dedup by task id and fence
+old-epoch zombies), the checkpointer and heartbeat ring re-root at the
+new head, and the program finishes bit-identical to a fault-free run.
+A head crash with no live standby raises :class:`RecoveryError`
+instead of hanging.
+
 Transient faults (message loss, degraded links, stalls, hangs) are
 injected by passing a :class:`~repro.core.faultmodel.FaultPlan` to
 :meth:`FaultTolerantRuntime.run`; a lossy plan automatically enables the
@@ -53,11 +68,13 @@ from repro.core.config import OMPCConfig
 from repro.core.datamanager import HOST, DataManager, Move
 from repro.core.events import EventSystem
 from repro.core.faultmodel import FaultPlan
+from repro.core.headlog import HeadLog, Replicator
 from repro.core.scheduler import HeftScheduler, Schedule, Scheduler
 from repro.mpi.comm import MpiWorld, TransportConfig
+from repro.obs.observer import Observer
 from repro.omp.api import OmpProgram
 from repro.omp.task import Buffer, Task, TaskKind
-from repro.sim.errors import SimulationError
+from repro.sim.errors import Interrupt, SimulationError
 from repro.sim.primitives import AnyOf
 from repro.sim.resources import Resource
 from repro.util.units import MILLISECOND
@@ -65,8 +82,10 @@ from repro.util.units import MILLISECOND
 #: Ring-communicator tags: heartbeats, suspect reports to the head.
 HB_TAG = 1
 SUSPECT_TAG = 2
-#: Ping-communicator tags: pings carry the tag their pong must use.
+#: Ping-communicator tags: pings carry the tag their pong must use;
+#: VERIFY asks a third node to ping a suspect (head-death quorum).
 PING_TAG = 1
+VERIFY_TAG = 2
 _PONG_TAG_BASE = 16
 
 
@@ -84,23 +103,40 @@ class NodeFailure:
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError("failure time must be >= 0")
-        if self.node == 0:
-            raise ValueError("the head node cannot fail in this model")
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
 
 
 class FailureInjector:
-    """Schedules crashes against a running event system."""
+    """Schedules crashes against a running event system.
+
+    Any node may be crashed, including the head (node 0) — recovering
+    from that requires standbys (``OMPCConfig.head_standbys``).  A node
+    can only be crashed once: arming a second failure for the same node
+    is rejected (fail-stop nodes do not die twice).
+    """
 
     def __init__(self, events: EventSystem):
         self.events = events
         self.injected: list[NodeFailure] = []
+        self._armed: set[int] = set()
 
     def arm(self, failures: Sequence[NodeFailure],
             on_fail: Callable[[int], None] | None = None) -> None:
         sim = self.events.sim
         for failure in tuple(failures):
+            if failure.node in self._armed:
+                raise ValueError(
+                    f"node {failure.node} already has an armed failure; "
+                    "duplicate/overlapping injections would crash a "
+                    "fail-stop node twice"
+                )
+            self._armed.add(failure.node)
+
             def crash(f=failure):
                 yield sim.timeout(f.time)
+                if self.events.node_failed(f.node):
+                    return  # already dead (e.g. STONITH'd deposed head)
                 self.events.fail_node(f.node)
                 self.injected.append(f)
                 if on_fail is not None:
@@ -121,10 +157,25 @@ class HeartbeatRing:
     cleared rather than killed.  After a detection the monitor re-wires
     to the next living predecessor so later failures are still caught.
 
+    **Suspecting the head itself** cannot route through the head: the
+    confirm step would be a self-confirmation loop through the very
+    node under suspicion.  Instead the suspecting monitor (the head's
+    ring successor) pings the head directly and, if it stays silent,
+    asks the head's *other* live ring neighbor for a second opinion
+    (:data:`VERIFY_TAG`).  Only when both neighbors fail to reach the
+    head — a quorum of its ring neighborhood — is the head declared
+    dead, firing :attr:`on_head_detect` so the runtime can elect a
+    standby and :meth:`rebase` the ring's confirm machinery there.
+
     Heartbeats and suspect reports travel as datagrams (the ring
     communicator opts out of reliable transport — retransmitting a
     heartbeat would defeat its purpose); pings use a separate
     communicator that inherits the world's transport.
+
+    Health counters (missed windows, suspect reports, cleared
+    suspicions, false positives, detections) are mirrored to the
+    cluster's :mod:`repro.obs` observer under ``hb.*`` so failover runs
+    are debuggable from a trace.
     """
 
     def __init__(
@@ -156,12 +207,20 @@ class HeartbeatRing:
         self.comm = mpi.new_communicator(reliable=False)
         self.ping_comm = mpi.new_communicator()
         self.on_detect: Callable[[int, int], None] | None = None
+        #: Called instead of :attr:`on_detect` when the declared node is
+        #: the *current head* — the failover trigger.
+        self.on_head_detect: Callable[[int, int], None] | None = None
+        #: Observability sink for ``hb.*`` health counters.
+        self.obs = cluster.obs
         #: (dead_node, detected_by, detection_time) records.
         self.detections: list[tuple[int, int, float]] = []
         #: Suspects that answered the head's ping (kept alive).
         self.suspicions_cleared = 0
         #: Nodes declared dead that had not actually failed.
         self.false_positives = 0
+        #: Heartbeat windows that elapsed without a beat (raw misses,
+        #: before the suspect threshold).
+        self.missed_windows = 0
         self._dead: set[int] = set()
         self._confirming: set[int] = set()
         self._pong_seq = itertools.count()
@@ -175,7 +234,18 @@ class HeartbeatRing:
             self.sim.process(self._sender(node), name=f"hb-send{node}")
             self.sim.process(self._monitor(node), name=f"hb-mon{node}")
             self.sim.process(self._responder(node), name=f"hb-pong{node}")
-        self.sim.process(self._confirm_service(), name="hb-confirm")
+            self.sim.process(self._verifier(node), name=f"hb-verify{node}")
+        self.sim.process(
+            self._confirm_service(self.head), name=f"hb-confirm{self.head}"
+        )
+
+    def rebase(self, new_head: int) -> None:
+        """Re-root the confirm machinery at an elected head (failover)."""
+        self.head = new_head
+        if not self._stopped:
+            self.sim.process(
+                self._confirm_service(new_head), name=f"hb-confirm{new_head}"
+            )
 
     def stop(self) -> None:
         """End monitoring (called at runtime shutdown)."""
@@ -227,23 +297,43 @@ class HeartbeatRing:
             # swallowed by a request nobody is watching anymore.
             req.cancel()
             misses += 1
+            self.missed_windows += 1
+            self.obs.count("hb.missed_windows")
             if misses < self.suspect_windows:
                 continue
             misses = 0
             if watched in self._dead or watched in self._confirming:
+                continue
+            self.obs.count("hb.suspect_reports")
+            if watched == self.head:
+                # Suspecting the head cannot route through the head:
+                # confirm locally with a neighbor quorum instead.
+                self._confirming.add(watched)
+                self.sim.process(
+                    self._confirm_head(watched, node),
+                    name=f"hb-headping{watched}",
+                )
                 continue
             # Suspect: the fabric may merely have dropped or delayed the
             # beats, so ask the head to confirm with a direct ping.
             rank.isend(self.head, ("suspect", watched, node),
                        self.heartbeat_bytes, tag=SUSPECT_TAG)
 
-    def _confirm_service(self):
-        """Head-side loop turning suspect reports into ping confirms."""
-        rank = self.comm.rank(self.head)
+    def _confirm_service(self, service_head: int):
+        """Head-side loop turning suspect reports into ping confirms.
+
+        One instance runs per head incarnation; a deposed or crashed
+        instance drains away on its next wakeup.
+        """
+        rank = self.comm.rank(service_head)
         while not self._stopped:
             msg = yield from rank.recv(tag=SUSPECT_TAG)
             if self._stopped:
                 return
+            if self.head != service_head or self.events.node_failed(
+                service_head
+            ):
+                return  # deposed by a failover (or died): stand down
             _kind, suspect, reporter = msg.payload
             if suspect in self._dead or suspect in self._confirming:
                 continue
@@ -252,26 +342,112 @@ class HeartbeatRing:
                 self._confirm(suspect, reporter), name=f"hb-ping{suspect}"
             )
 
+    def _ping(self, pinger: int, target: int):
+        """Generator: ping ``target`` from ``pinger``.
+
+        Returns True when the target stayed *silent* past
+        ``ping_timeout`` (no pong), False when it answered.
+        """
+        reply_tag = _PONG_TAG_BASE + next(self._pong_seq)
+        rank = self.ping_comm.rank(pinger)
+        pong = rank.irecv(src=target, tag=reply_tag)
+        rank.isend(target, reply_tag, self.heartbeat_bytes, tag=PING_TAG)
+        yield AnyOf(self.sim, [pong.event, self.sim.timeout(self.ping_timeout)])
+        if pong.test():
+            return False
+        pong.cancel()
+        return True
+
     def _confirm(self, suspect: int, reporter: int):
         """Ping ``suspect`` from the head; declare dead only on silence."""
-        reply_tag = _PONG_TAG_BASE + next(self._pong_seq)
-        rank = self.ping_comm.rank(self.head)
-        pong = rank.irecv(src=suspect, tag=reply_tag)
-        rank.isend(suspect, reply_tag, self.heartbeat_bytes, tag=PING_TAG)
-        yield AnyOf(self.sim, [pong.event, self.sim.timeout(self.ping_timeout)])
+        silent = yield from self._ping(self.head, suspect)
         self._confirming.discard(suspect)
-        if pong.test():
+        if not silent:
             self.suspicions_cleared += 1
+            self.obs.count("hb.suspicions_cleared")
             return  # alive after all — the window misses were transient
-        pong.cancel()
-        if suspect == self.head:
-            # The head cannot fail in this model; its silence is always
-            # transient, so a head suspicion never becomes a declaration.
-            self.suspicions_cleared += 1
-            return
         if not self.events.node_failed(suspect):
             self.false_positives += 1
+            self.obs.count("hb.false_positives")
         self._declare(suspect, reporter)
+
+    def _confirm_head(self, suspect: int, reporter: int):
+        """Confirm a *head* suspicion via its ring-neighbor quorum.
+
+        The reporter (the head's ring successor, whose monitor raised
+        the suspicion) pings the head itself; if silent, it asks the
+        head's other live ring neighbor to ping too.  Both neighbors
+        silent — or the witness itself unreachable, leaving no one able
+        to prove the head alive — escalates to a declaration, which the
+        runtime turns into an election.
+        """
+        try:
+            silent = yield from self._ping(reporter, suspect)
+            if self._stopped or suspect != self.head or suspect in self._dead:
+                return
+            if not silent:
+                self.suspicions_cleared += 1
+                self.obs.count("hb.suspicions_cleared")
+                return
+            witness = self._other_neighbor(suspect, reporter)
+            if witness is not None:
+                verdict = yield from self._second_opinion(
+                    witness, suspect, reporter
+                )
+                if (
+                    self._stopped
+                    or suspect != self.head
+                    or suspect in self._dead
+                ):
+                    return
+                if verdict is False:
+                    # The witness reached the head: the reporter's link
+                    # was the problem, not the head.
+                    self.suspicions_cleared += 1
+                    self.obs.count("hb.suspicions_cleared")
+                    return
+            if not self.events.node_failed(suspect):
+                self.false_positives += 1
+                self.obs.count("hb.false_positives")
+            self._declare(suspect, reporter)
+        finally:
+            self._confirming.discard(suspect)
+
+    def _second_opinion(self, witness: int, target: int, requester: int):
+        """Generator: ask ``witness`` to ping ``target`` on our behalf.
+
+        Returns True when the witness found the target silent, False
+        when the witness reached it, and None when the witness itself
+        never answered — the caller treats None as assent, since
+        neither neighbor can then prove the head alive.
+        """
+        reply_tag = _PONG_TAG_BASE + next(self._pong_seq)
+        rank = self.ping_comm.rank(requester)
+        verdict = rank.irecv(src=witness, tag=reply_tag)
+        rank.isend(witness, ("verify", target, reply_tag),
+                   self.heartbeat_bytes, tag=VERIFY_TAG)
+        budget = 3.0 * self.ping_timeout  # witness ping + both legs' slack
+        yield AnyOf(self.sim, [verdict.event, self.sim.timeout(budget)])
+        if verdict.test():
+            return bool(verdict.event.value.payload[1])
+        verdict.cancel()
+        return None
+
+    def _verifier(self, node: int):
+        """Answer verify requests: ping the named target, report back."""
+        rank = self.ping_comm.rank(node)
+        while not self._stopped:
+            msg = yield from rank.recv(tag=VERIFY_TAG)
+            if self._stopped:
+                return
+            if self.events.node_failed(node):
+                return  # a dead node verifies nothing
+            _kind, target, reply_tag = msg.payload
+            silent = yield from self._ping(node, target)
+            if self.events.node_failed(node):
+                return
+            rank.isend(msg.src, ("verdict", silent), self.heartbeat_bytes,
+                       tag=reply_tag)
 
     def _responder(self, node: int):
         """Answer head pings (the liveness proof of the confirm step)."""
@@ -295,13 +471,59 @@ class HeartbeatRing:
             pred = (pred - 1) % n
         return None
 
+    def _other_neighbor(self, around: int, excluding: int) -> int | None:
+        """The nearest live ring predecessor of ``around`` that is not
+        ``excluding`` — the second member of the head-death quorum."""
+        n = self.cluster.num_nodes
+        pred = (around - 1) % n
+        while pred != around:
+            if pred != excluding and self._alive(pred):
+                return pred
+            pred = (pred - 1) % n
+        return None
+
     def _declare(self, dead: int, by: int) -> None:
-        if dead in self._dead or dead == self.head:
+        if dead in self._dead:
             return
         self._dead.add(dead)
         self.detections.append((dead, by, self.sim.now))
-        if self.on_detect is not None:
+        self.obs.count("hb.detections")
+        if dead == self.head and self.on_head_detect is not None:
+            self.on_head_detect(dead, by)
+        elif self.on_detect is not None:
             self.on_detect(dead, by)
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """Telemetry for one head failover (detection → election → resume)."""
+
+    epoch: int
+    old_head: int
+    new_head: int
+    failed_at: float
+    declared_at: float
+    elected_at: float
+    resumed_at: float
+    replayed_records: int
+    redispatched_tasks: int
+
+    @property
+    def detection_time(self) -> float:
+        """Crash (or STONITH of a falsely declared head) → ring quorum
+        declaration."""
+        return self.declared_at - self.failed_at
+
+    @property
+    def election_time(self) -> float:
+        """Declaration → elected winner known."""
+        return self.elected_at - self.declared_at
+
+    @property
+    def recovery_time(self) -> float:
+        """Declaration → new head resumed dispatching (includes the
+        announcement round and the log-replay rebuild)."""
+        return self.resumed_at - self.declared_at
 
 
 @dataclass
@@ -331,6 +553,22 @@ class FTRunResult:
     #: Reliable-transport counters (drops, retransmissions, acks,
     #: duplicates) — empty dict when the fabric is clean.
     transport: dict[str, int] = field(default_factory=dict)
+    #: Head-failover telemetry (zero/empty when the head survived or
+    #: replication was off).
+    head_failovers: int = 0
+    failovers: list[FailoverEvent] = field(default_factory=list)
+    #: The node serving as head when the run finished (0 = no failover).
+    final_head: int = 0
+    #: Commit-log / replication activity (``head_standbys > 0`` only).
+    log_records_appended: int = 0
+    replication_bytes: float = 0.0
+    log_flushes: int = 0
+    replication: dict[str, float] = field(default_factory=dict)
+    #: Raw heartbeat windows that elapsed without a beat (ring health).
+    missed_heartbeat_windows: int = 0
+    #: The run's :class:`~repro.obs.observer.Observer` when the config
+    #: enabled tracing (``OMPCConfig.trace``); ``None`` otherwise.
+    obs: Observer | None = None
 
 
 class FaultTolerantRuntime:
@@ -374,6 +612,10 @@ class FaultTolerantRuntime:
         cluster = Cluster(self.cluster_spec)
         self.last_cluster = cluster
         sim = cluster.sim
+        if self.config.trace:
+            # Must precede MpiWorld/EventSystem construction — both
+            # capture ``cluster.obs`` when built.
+            cluster.install_observer(Observer(sim))
         active = fault_plan.install(cluster) if fault_plan is not None else None
         transport = self.transport
         if transport is None and active is not None and active.plan.lossy:
@@ -391,9 +633,36 @@ class FaultTolerantRuntime:
         dm = DataManager()
         graph = program.graph
 
+        # -- head-state replication (head failover) ----------------------
+        # Standbys are the lowest-id workers; they keep executing tasks
+        # like any other worker while also mirroring the head's log.
+        n_standbys = min(cfg.head_standbys, cluster.num_nodes - 1)
+        if n_standbys > 0:
+            log = HeadLog(cfg.log_record_bytes)
+            repl = Replicator(
+                sim, mpi, events, log,
+                standbys=list(range(1, 1 + n_standbys)),
+                head=HOST,
+                max_lag=cfg.replication_max_lag,
+                election_bytes=cfg.log_record_bytes,
+            )
+        else:
+            log = None
+            repl = None
+
         schedule = self.scheduler.schedule(graph, cluster)
         result = FTRunResult(makespan=0.0, schedule=schedule)
 
+        #: Every mapped buffer by id (bootstrap snapshots, log replay).
+        all_buffers: dict[int, Buffer] = {}
+        for t in graph.tasks():
+            for d in t.deps:
+                all_buffers.setdefault(d.buffer.buffer_id, d.buffer)
+            for b in t.buffers:
+                all_buffers.setdefault(b.buffer_id, b)
+
+        #: The node currently acting as head (rebound on failover).
+        home = HOST
         dead: set[int] = set()
         live_workers = lambda: [  # noqa: E731 - tiny local helper
             n for n in range(1, cluster.num_nodes) if n not in dead
@@ -415,13 +684,77 @@ class FaultTolerantRuntime:
         written_buffers: dict[int, Buffer] = {}
         #: Head-side snapshots: buffer id → (version, pristine copy).
         checkpoints: dict[int, tuple[int, Any]] = {}
+        #: Task ids whose completion is recorded (after a failover this
+        #: is rebuilt from the adopted replica — the authoritative view).
+        completed: set[int] = set()
+        #: Post-failover re-dispatch overrides: task id → surviving
+        #: original target, and the ids the workers must dedup.
+        forced_target: dict[int, int] = {}
+        dedup_tasks: set[int] = set()
         attempts: dict[int, int] = {}
         exec_attempt = itertools.count(1)
         # Serialize recoveries of the same buffer.
         recovering: dict[int, object] = {}
+        #: Head-side processes of the current head incarnation.  All are
+        #: interrupted when that head dies: their frames must unwind
+        #: before the elected successor rebuilds state, so no stale
+        #: completion can race the rebuilt directory.
+        epoch_procs: list[Any] = []
+        failovers: list[FailoverEvent] = []
+        head_declared: dict[int, Any] = {}
         ckpt_stop = False
 
+        def cur_epoch() -> int:
+            return log.epoch if log is not None else 0
+
+        def log_append(kind: str, nbytes: float | None = None,
+                       **data: Any) -> None:
+            if repl is None:
+                return
+            log.append(kind, nbytes=nbytes, **data)
+            repl.notify()
+
+        def spawn(gen, name: str):
+            """Spawn an epoch-scoped head-side process.
+
+            The wrapper absorbs the failover-teardown Interrupt: these
+            frames have no waiter by design, and a failing process with
+            no waiter crashes the simulation.
+            """
+            def shielded(g=gen):
+                try:
+                    yield from g
+                except Interrupt:
+                    return
+
+            proc = sim.process(shielded(), name=name)
+            epoch_procs.append(proc)
+            return proc
+
+        def declared_event(node: int):
+            ev = head_declared.get(node)
+            if ev is None:
+                ev = sim.event(f"head-declared:{node}")
+                head_declared[node] = ev
+            return ev
+
+        def on_head_death(node: int, by: int) -> None:
+            """Ring verdict on the head: STONITH, then wake the failover.
+
+            A falsely declared head is killed for real before any
+            successor takes over — two live heads racing the same
+            workers would be worse than one wrongly lost node.
+            """
+            if not events.node_failed(node):
+                events.fail_node(node)
+            ev = declared_event(node)
+            if not ev.triggered:
+                ev.succeed((by, sim.now))
+
         def target_node(task: Task) -> int:
+            forced = forced_target.get(task.task_id)
+            if forced is not None and forced not in dead:
+                return forced
             node = schedule.node_of(task)
             if node in dead and node != HOST:
                 # Deterministic re-map: spread by task id over survivors.
@@ -433,11 +766,12 @@ class FaultTolerantRuntime:
 
         def complete(task: Task) -> None:
             nonlocal pending
+            completed.add(task.task_id)
             pending -= 1
             for succ in graph.successors(task):
                 remaining[succ.task_id] -= 1
                 if remaining[succ.task_id] == 0:
-                    sim.process(run_task(succ), name=f"ft-task:{succ.name}")
+                    spawn(run_task(succ), name=f"ft-task:{succ.name}")
             if pending == 0:
                 all_done.succeed()
 
@@ -540,18 +874,23 @@ class FaultTolerantRuntime:
                     return
                 src = dm.latest(buffer)
                 if src in dead or src not in locations:
-                    src = HOST if HOST in locations else min(locations)
-                if src == HOST:
+                    src = home if home in locations else min(locations)
+                if src == home:
                     op = events.submit(dst, buffer.buffer_id, buffer.data,
-                                       buffer.nbytes)
+                                       buffer.nbytes, origin=home)
                     watch = [dst]
                 else:
                     op = events.exchange(src, dst, buffer.buffer_id,
-                                         buffer.nbytes)
+                                         buffer.nbytes, origin=home)
                     watch = [src, dst]
                 try:
                     yield from guarded(watch, op)
                 except _NodeCrashed as crash:
+                    if crash.node == home:
+                        # The head died under us: the failover path owns
+                        # recovery; park until the teardown interrupt.
+                        yield sim.event("park-for-failover")
+                        continue
                     handle_node_death(crash.node)
                     if crash.node == dst:
                         raise  # the task itself must move
@@ -567,12 +906,31 @@ class FaultTolerantRuntime:
         # -- task execution with failure racing ---------------------------
         def execute_once(task: Task, chain: frozenset = frozenset()):
             """Generator: run ``task`` to completion, retrying on crashes."""
+            recovery = bool(chain)  # lineage/replay re-execution
             while True:
                 node = target_node(task)
                 attempts[task.task_id] = attempts.get(task.task_id, 0) + 1
+                if repl is not None and not recovery:
+                    if task.kind in (TaskKind.CLASSICAL, TaskKind.TARGET):
+                        log_append(
+                            "dispatch", task_id=task.task_id,
+                            node=home if task.kind == TaskKind.CLASSICAL
+                            else node,
+                        )
+                        if any(
+                            d.type.writes and d.type.reads for d in task.deps
+                        ):
+                            # INOUT fence: an ambiguous in-place mutation
+                            # must be *detectable* from every replica
+                            # before it can happen.
+                            yield from repl.flush()
+                        else:
+                            yield from repl.throttle()
+                    else:
+                        yield from repl.throttle()
                 try:
                     if task.kind == TaskKind.CLASSICAL:
-                        yield from run_classical(task)
+                        yield from run_classical(task, recovery)
                     elif task.kind == TaskKind.TARGET_ENTER_DATA:
                         yield from run_enter_data(task, node)
                     elif task.kind == TaskKind.TARGET_EXIT_DATA:
@@ -583,12 +941,27 @@ class FaultTolerantRuntime:
                         yield from run_target(task, node, chain)
                     return
                 except _NodeCrashed as crash:
+                    if crash.node == home:
+                        # The head itself died under this frame; the
+                        # failover path owns recovery — park until the
+                        # epoch teardown interrupts us.
+                        yield sim.event("park-for-failover")
+                        continue
                     handle_node_death(crash.node)
                     continue  # retry on a survivor
 
-        def run_classical(task: Task):
-            head = cluster.head
-            yield head.cpu.request()
+        def run_classical(task: Task, recovery: bool = False):
+            head = cluster.node(home)
+            req = head.cpu.request()
+            try:
+                yield req
+            except Interrupt:
+                # Teardown while queued: withdraw the request (a slot
+                # granted in the same instant is handed back) so the
+                # epoch swap cannot leak CPU capacity.
+                if not head.cpu.cancel(req):
+                    head.cpu.release()
+                raise
             try:
                 if task.cost:
                     yield sim.timeout(head.compute_time(task.cost))
@@ -596,59 +969,94 @@ class FaultTolerantRuntime:
                     task.fn(*(d.buffer.data for d in task.deps))
             finally:
                 head.cpu.release()
-            record_writes(task, HOST)
+            record_writes(task, home, recovery)
 
         def run_enter_data(task: Task, node: int):
             if node == HOST or node in dead:
-                node = HOST
-            if node != HOST:
+                node = home
+            if node != home:
                 for buf in task.buffers:
                     yield from safe_source_move(buf, node)
                 for buf in task.buffers:
                     dm.commit_enter_data(buf, node)
+                    log_append("enter_data", buffer_id=buf.buffer_id,
+                               node=node)
 
         def run_exit_data(task: Task):
             for buf in task.buffers:
                 while True:
                     yield from ensure_available(buf)
                     locations = dm.locations(buf) - dead
-                    if HOST in locations and dm.latest(buf) == HOST:
+                    if home in locations and dm.latest(buf) == home:
                         break
                     src = dm.latest(buf)
                     if src in dead or src not in locations:
                         src = min(locations)
-                    if src == HOST:
+                    if src == home:
                         break
                     payload = yield from events.retrieve(
-                        src, buf.buffer_id, buf.nbytes
+                        src, buf.buffer_id, buf.nbytes, origin=home
                     )
                     if src not in dm.locations(buf) - dead:
                         continue  # source declared dead mid-retrieve
                     buf.data = payload
-                    dm.commit_move(Move(buf, src, HOST))
+                    dm.commit_move(Move(buf, src, home))
                     break
-                for stale_buf, holder in dm.commit_exit_data(buf):
-                    if holder != HOST and holder not in dead:
-                        yield from events.delete(holder, stale_buf.buffer_id)
+                log_append("exit_data", buffer_id=buf.buffer_id, home=home)
+                yield from purge_stale(dm.commit_exit_data(buf))
+
+        def purge_stale(stale):
+            """Generator: physically delete invalidated worker copies.
+
+            With replication on, physical deletes are skipped entirely
+            (a tombstone model): the directory has already dropped the
+            stale copies so nothing will read them, and a deferred
+            DELETE racing a post-failover re-materialization of the
+            same buffer could destroy the only live copy.
+            """
+            if repl is not None:
+                return
+            for buf, holder in stale:
+                if holder != home and holder not in dead:
+                    yield from events.delete(holder, buf.buffer_id,
+                                             origin=home)
 
         def run_target(task: Task, node: int, chain: frozenset = frozenset(),
                        attempt: int = 0):
             moves, allocs = dm.plan_for_task(task, node)
             for buf in allocs:
                 yield from guarded(node, events.alloc(node, buf.buffer_id,
-                                                      payload=buf.data))
+                                                      payload=buf.data,
+                                                      origin=home))
                 dm.commit_alloc(buf, node)
+            if node == home:
+                # Self-dispatch (the elected head doubles as a worker):
+                # the directory counts the host image as home-resident,
+                # but the node's device table only holds explicit
+                # allocations.  Materialize missing deps by reference —
+                # a host-to-own-device copy moves no bytes.
+                mem = events.memories[node]
+                for dep in task.deps:
+                    if (
+                        dm.is_resident(dep.buffer, node)
+                        and dep.buffer.buffer_id not in mem
+                    ):
+                        yield from guarded(node, events.alloc(
+                            node, dep.buffer.buffer_id,
+                            payload=dep.buffer.data, origin=home,
+                        ))
             for dep in task.deps:
                 if task.dep_type_for(dep.buffer).reads and not dm.is_resident(
                     dep.buffer, node
                 ):
                     yield from safe_source_move(dep.buffer, node, chain)
-            yield from guarded(node, events.execute(node, task, attempt=attempt))
-            record_writes(task, node)
-            stale = dm.commit_task_done(task, node)
-            for buf, holder in stale:
-                if holder != HOST and holder not in dead:
-                    yield from events.delete(holder, buf.buffer_id)
+            dedup = not chain and task.task_id in dedup_tasks
+            yield from guarded(node, events.execute(
+                node, task, origin=home, attempt=attempt,
+                dedup=dedup, fo_epoch=cur_epoch(),
+            ))
+            record_writes(task, node, recovery=bool(chain))
+            yield from purge_stale(dm.commit_task_done(task, node))
 
         # -- straggler mitigation -----------------------------------------
         def speculatable(task: Task) -> bool:
@@ -732,13 +1140,22 @@ class FaultTolerantRuntime:
                 raise primary.value
             return
 
-        def record_writes(task: Task, node: int) -> None:
+        def record_writes(task: Task, node: int,
+                          recovery: bool = False) -> None:
             for buf in task.writes:
                 writer_of[buf.buffer_id] = task
+                written_buffers[buf.buffer_id] = buf
+                if recovery:
+                    # Replays re-derive an already-recorded write: the
+                    # version counter must stay aligned with what a
+                    # standby reconstructs from the log, or checkpoint
+                    # freshness comparisons diverge after a failover.
+                    continue
                 version = write_version.get(buf.buffer_id, 0) + 1
                 write_version[buf.buffer_id] = version
                 write_log.setdefault(buf.buffer_id, []).append((version, task))
-                written_buffers[buf.buffer_id] = buf
+            if not recovery:
+                log_append("task_done", task_id=task.task_id, node=node)
 
         def guarded(nodes, operation):
             """Generator: race ``operation`` against any of ``nodes`` dying.
@@ -766,18 +1183,32 @@ class FaultTolerantRuntime:
             raise _NodeCrashed(crashed)
 
         def handle_node_death(node: int) -> None:
-            if node in dead:
-                return
+            if node in dead or node == home:
+                return  # the head's own death is the failover path's job
             dead.add(node)
             dm.on_node_failure(node)
             result.failures.append(node)
+            log_append("node_dead", node=node)
 
         def run_task(task: Task):
-            yield slots.request()
+            req = slots.request()
+            try:
+                yield req
+            except Interrupt:
+                # Teardown while queued for a head thread: withdraw the
+                # request (a slot granted in the same instant is handed
+                # back) so the epoch swap cannot leak capacity.
+                if not slots.cancel(req):
+                    slots.release()
+                raise
             try:
                 yield from execute_once(task)
             finally:
                 slots.release()
+            if task.kind.is_data_movement:
+                # ENTER/EXIT completions carry no writes, so they are
+                # logged here rather than through record_writes.
+                log_append("task_done", task_id=task.task_id, node=home)
             complete(task)
 
         # -- checkpointing ------------------------------------------------
@@ -804,14 +1235,15 @@ class FaultTolerantRuntime:
                         continue  # already lost; recovery owns it now
                     src = dm.latest(buf)
                     if src in dead or src not in locations:
-                        src = HOST if HOST in locations else min(locations)
-                    if src == HOST:
+                        src = home if home in locations else min(locations)
+                    if src == home:
                         checkpoints[bid] = (version, _snapshot(buf.data))
                     else:
                         try:
                             payload = yield from guarded(
                                 [src],
-                                events.retrieve(src, bid, buf.nbytes),
+                                events.retrieve(src, bid, buf.nbytes,
+                                                origin=home),
                             )
                         except _NodeCrashed as crash:
                             handle_node_death(crash.node)
@@ -821,6 +1253,222 @@ class FaultTolerantRuntime:
                         checkpoints[bid] = (version, _snapshot(payload))
                     result.checkpoints_taken += 1
                     cluster.trace.count("ft.checkpoints")
+                    # Snapshots ride the log by reference: the stored
+                    # copy is pristine (restores copy out of it), so
+                    # sharing it with the replicas is safe.
+                    log_append(
+                        "checkpoint",
+                        nbytes=cfg.log_record_bytes + buf.nbytes,
+                        buffer_id=bid, version=version,
+                        snap=checkpoints[bid][1],
+                    )
+
+        # -- head failover ------------------------------------------------
+        def start_epoch() -> None:
+            """Spawn the head-side services of the current incarnation."""
+            if repl is not None:
+                for s in repl.live_standbys():
+                    spawn(repl.pump(s), name=f"repl-pump{s}.e{cur_epoch()}")
+            if cfg.checkpoint_interval > 0:
+                spawn(checkpointer(), name=f"ft-checkpoint.e{cur_epoch()}")
+
+        def rebuild_from_log(old_head: int) -> int:
+            """Replay the adopted replica into fresh head state.
+
+            Only *logged* transitions are replayed — completions, data
+            enter/exit, node deaths, checkpoints — which yields a
+            conservative directory: every logged write pinned its buffer
+            to the writing node, so dropping knowledge of intermediate
+            moves can only forget extra replicas, never invent one.
+
+            Returns the number of in-doubt dispatches re-issued.
+            """
+            nonlocal dm
+            dm2 = DataManager()
+            ckpt2: dict[int, tuple[int, Any]] = {}
+            done2: set[int] = set()
+            dispatched: dict[int, int] = {}
+            writer2: dict[int, Task] = {}
+            wver2: dict[int, int] = {}
+            wlog2: dict[int, list[tuple[int, Task]]] = {}
+            wbuf2: dict[int, Buffer] = {}
+            dropped: set[int] = set()
+            for rec in log.records:
+                d = rec.data
+                if rec.kind == "bootstrap":
+                    for bid, snap in d["snapshots"]:
+                        ckpt2[bid] = (0, snap)
+                elif rec.kind == "dispatch":
+                    dispatched[d["task_id"]] = d["node"]
+                elif rec.kind == "task_done":
+                    tid = d["task_id"]
+                    done2.add(tid)
+                    dispatched.pop(tid, None)
+                    task = graph.task(tid)
+                    for buf in task.writes:
+                        writer2[buf.buffer_id] = task
+                        wbuf2[buf.buffer_id] = buf
+                        ver = wver2.get(buf.buffer_id, 0) + 1
+                        wver2[buf.buffer_id] = ver
+                        wlog2.setdefault(buf.buffer_id, []).append(
+                            (ver, task)
+                        )
+                    if task.kind == TaskKind.TARGET:
+                        dm2.commit_task_done(task, d["node"])
+                elif rec.kind == "enter_data":
+                    dm2.commit_enter_data(
+                        all_buffers[d["buffer_id"]], d["node"]
+                    )
+                elif rec.kind == "exit_data":
+                    # Apply with the home that was current when logged.
+                    dm2.rehome(d["home"])
+                    dm2.commit_exit_data(all_buffers[d["buffer_id"]])
+                elif rec.kind == "node_dead":
+                    n = d["node"]
+                    dropped.add(n)
+                    if n != dm2.home:
+                        dm2.on_node_failure(n)
+                elif rec.kind == "checkpoint":
+                    ckpt2[d["buffer_id"]] = (d["version"], d["snap"])
+            dm2.rehome(home)  # ``home`` is already the elected winner
+            for n in sorted((dead | {old_head}) - dropped):
+                if n != home:
+                    dm2.on_node_failure(n)
+                    log_append("node_dead", node=n)
+            # In-doubt dispatches: a dispatch record with no matching
+            # completion.  Completed-but-unreplicated work re-runs; the
+            # worker-side dedup (task id) and epoch fencing keep that
+            # idempotent when the original target survives.
+            redispatched = 0
+            forced_target.clear()
+            dedup_tasks.clear()
+            for tid in sorted(dispatched):
+                if tid in done2:
+                    continue
+                redispatched += 1
+                node = dispatched[tid]
+                task = graph.task(tid)
+                alive = (
+                    node != old_head
+                    and node not in dead
+                    and not events.node_failed(node)
+                )
+                if alive:
+                    forced_target[tid] = node
+                    dedup_tasks.add(tid)
+                    continue
+                if node != old_head and not events.node_failed(node):
+                    # In-doubt target (declared dead but physically still
+                    # running): fence it for real so no zombie in-place
+                    # mutation can land after the restore below.
+                    events.fail_node(node)
+                for dep in task.deps:
+                    if dep.type.writes and dep.type.reads:
+                        # The lost dispatch may or may not have applied
+                        # its in-place mutation; only a snapshot restore
+                        # plus write-log replay is well-defined.
+                        dm2.invalidate(dep.buffer)
+            # Swap the rebuilt state in.
+            dm = dm2
+            checkpoints.clear()
+            checkpoints.update(ckpt2)
+            writer_of.clear()
+            writer_of.update(writer2)
+            write_version.clear()
+            write_version.update(wver2)
+            write_log.clear()
+            write_log.update(wlog2)
+            written_buffers.clear()
+            written_buffers.update(wbuf2)
+            completed.clear()
+            completed.update(done2)
+            recovering.clear()
+            return redispatched
+
+        def failover():
+            """Generator: elect, adopt, rebuild, resume (one head death)."""
+            nonlocal home, pending, all_done
+            old_head = home
+            failed_at = sim.now
+            # Tear down the dead head's epoch first: every head-side
+            # frame unwinds before the successor rebuilds state.
+            for proc in epoch_procs:
+                if proc.is_alive:
+                    proc.interrupt("head failover")
+            epoch_procs.clear()
+            if repl is None:
+                raise RecoveryError(
+                    "head node failed with no standbys configured "
+                    "(OMPCConfig.head_standbys = 0); head state is "
+                    "unrecoverable"
+                )
+            if old_head not in dead:
+                dead.add(old_head)
+                result.failures.append(old_head)
+            if not any(
+                n != old_head and not events.node_failed(n)
+                for n in range(cluster.num_nodes)
+            ):
+                raise RecoveryError("head node failed and no live node "
+                                    "remains to elect a successor")
+            by, declared_at = yield declared_event(old_head)
+            election = yield from repl.elect(
+                by, exclude=frozenset(dead | ring._dead | {old_head})
+            )
+            if election is None:
+                raise RecoveryError(
+                    "head node failed and no live standby replica "
+                    "survives to take over (raise "
+                    "OMPCConfig.head_standbys)"
+                )
+            winner, votes = election
+            elected_at = sim.now
+            yield from repl.announce(by, winner, [
+                n for n in range(cluster.num_nodes)
+                if n != old_head and not events.node_failed(n)
+            ])
+            log.adopt(list(repl.replicas[winner]), log.epoch + 1)
+            repl.set_head(winner, votes)
+            home = winner
+            ring.rebase(winner)
+            # The successor replays its replica into fresh control
+            # state; the replay is CPU work charged per record.
+            replay_cost = len(log.records) * cfg.log_replay_unit_cost
+            if replay_cost:
+                yield sim.timeout(replay_cost)
+            redispatched = rebuild_from_log(old_head)
+            # Rebuild the dependency frontier from the replicated
+            # completed set and relaunch whatever is runnable.
+            remaining.clear()
+            pending = 0
+            for t in graph.tasks():
+                if t.task_id in completed:
+                    continue
+                remaining[t.task_id] = sum(
+                    1 for p in graph.predecessors(t)
+                    if p.task_id not in completed
+                )
+                pending += 1
+            all_done = sim.event("all-tasks-done")
+            start_epoch()
+            failovers.append(FailoverEvent(
+                epoch=log.epoch,
+                old_head=old_head,
+                new_head=winner,
+                failed_at=failed_at,
+                declared_at=declared_at,
+                elected_at=elected_at,
+                resumed_at=sim.now,
+                replayed_records=len(log.records),
+                redispatched_tasks=redispatched,
+            ))
+            cluster.trace.count("ft.head_failovers")
+            if pending == 0:
+                all_done.succeed()
+                return
+            for t in graph.tasks():
+                if t.task_id not in completed and remaining[t.task_id] == 0:
+                    spawn(run_task(t), name=f"ft-task:{t.name}")
 
         # -- failure plumbing ---------------------------------------------
         def on_detect(dead_node: int, by: int) -> None:
@@ -829,6 +1477,7 @@ class FaultTolerantRuntime:
             handle_node_death(dead_node)
 
         ring.on_detect = on_detect
+        ring.on_head_detect = on_head_death
         injector = FailureInjector(events)
 
         def main():
@@ -837,8 +1486,25 @@ class FaultTolerantRuntime:
             events.start()
             ring.start()
             injector.arm(failures)
-            if cfg.checkpoint_interval > 0:
-                sim.process(checkpointer(), name="ft-checkpoint")
+            if repl is not None:
+                repl.start()
+                # Bootstrap fence: every buffer's pristine initial value
+                # reaches every standby before any task may run, so even
+                # a first-write INOUT loss is restorable after failover.
+                snaps = tuple(
+                    (bid, _snapshot(all_buffers[bid].data))
+                    for bid in sorted(all_buffers)
+                )
+                log_append(
+                    "bootstrap",
+                    nbytes=cfg.log_record_bytes + sum(
+                        all_buffers[bid].nbytes for bid in sorted(all_buffers)
+                    ),
+                    snapshots=snaps,
+                )
+            start_epoch()
+            if repl is not None:
+                yield from repl.flush()
             creation = len(remaining) * cfg.task_creation_overhead
             if creation:
                 yield sim.timeout(creation)
@@ -853,11 +1519,17 @@ class FaultTolerantRuntime:
                 all_done.succeed()
             else:
                 for root in graph.roots():
-                    sim.process(run_task(root), name=f"ft-task:{root.name}")
-            yield all_done
+                    spawn(run_task(root), name=f"ft-task:{root.name}")
+            while True:
+                done = all_done
+                yield AnyOf(sim, [done, events.failure_event(home)])
+                if done.triggered:
+                    break
+                yield from failover()
             ckpt_stop = True
             ring.stop()
-            yield from events.shutdown()
+            if not events.node_failed(home):
+                yield from events.shutdown(origin=home)
             yield sim.timeout(cfg.shutdown_time)
 
         main_proc = sim.process(main(), name="ompc-ft-main")
@@ -873,10 +1545,27 @@ class FaultTolerantRuntime:
             {f.node for f in injector.injected} - declared
         )
         result.transport = dict(mpi.stats)
+        result.missed_heartbeat_windows = ring.missed_windows
+        result.final_head = home
+        result.head_failovers = len(failovers)
+        result.failovers = list(failovers)
+        if repl is not None:
+            result.log_records_appended = log.appended
+            result.replication_bytes = repl.stats["bytes_sent"]
+            result.log_flushes = repl.stats["flushes"]
+            result.replication = dict(repl.stats)
         if active is not None:
             result.counters["faults.dropped_messages"] = (
                 active.dropped_messages
             )
+        if cluster.obs.enabled:
+            # Fold the transport + event-system tallies into the
+            # observer so one object carries the whole run's metrics.
+            for stat, value in mpi.stats.items():
+                cluster.obs.count(f"mpi.transport.{stat}", value)
+            for counter_name, value in cluster.trace.counters.items():
+                cluster.obs.count(counter_name, value)
+            result.obs = cluster.obs
         return result
 
 

@@ -154,6 +154,22 @@ def format_utilization(report: UtilizationReport) -> str:
             f"event queue node{node}: avg depth {avg:.2f}, max {peak:.0f}"
         )
 
+    hb = {
+        name[len("hb."):]: value
+        for name, value in report.counters.items()
+        if name.startswith("hb.")
+    }
+    if hb:
+        lines.append("")
+        lines.append(
+            "heartbeat health: "
+            f"{hb.get('missed_windows', 0):.0f} missed windows, "
+            f"{hb.get('suspect_reports', 0):.0f} suspicions "
+            f"({hb.get('suspicions_cleared', 0):.0f} cleared, "
+            f"{hb.get('false_positives', 0):.0f} false positives), "
+            f"{hb.get('detections', 0):.0f} confirmed detections"
+        )
+
     if report.counters:
         lines.append("")
         lines.append("counters:")

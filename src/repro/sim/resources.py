@@ -62,6 +62,21 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, request_event: Event) -> bool:
+        """Withdraw a queued ``request()``; True if it was still queued.
+
+        A request that was already granted cannot be withdrawn — the
+        caller owns the slot and must ``release()`` it.  Needed by
+        callers whose waiting frame can be interrupted (e.g. head
+        failover teardown): an abandoned queued request would otherwise
+        swallow the next freed slot forever.
+        """
+        for i, ev in enumerate(self._queue):
+            if ev is request_event:
+                del self._queue[i]
+                return True
+        return False
+
     def acquire(self):
         """Generator helper: ``yield from res.acquire()`` inside a process."""
         yield self.request()

@@ -39,11 +39,13 @@ def target(task_id, *deps):
 
 
 class TestNodeFailureValidation:
-    def test_head_cannot_fail(self):
-        with pytest.raises(ValueError):
-            NodeFailure(time=1.0, node=0)
+    def test_head_failure_now_allowed(self):
+        # Head failover (repro.core.headlog) made node 0 a legal target.
+        assert NodeFailure(time=1.0, node=0).node == 0
         with pytest.raises(ValueError):
             NodeFailure(time=-1.0, node=1)
+        with pytest.raises(ValueError):
+            NodeFailure(time=1.0, node=-1)
 
 
 class TestDataManagerFailure:
@@ -79,9 +81,16 @@ class TestDataManagerFailure:
         assert lost == []
         assert dm.latest(buf) == HOST
 
-    def test_host_failure_rejected(self):
+    def test_home_failure_rejected_until_rehomed(self):
+        dm = DataManager()
         with pytest.raises(ValueError):
-            DataManager().on_node_failure(HOST)
+            dm.on_node_failure(HOST)
+        # After a failover rehomes the directory, the old head's copies
+        # can be dropped like any worker's.
+        dm.rehome(2)
+        assert dm.on_node_failure(HOST) == []
+        with pytest.raises(ValueError):
+            dm.on_node_failure(2)
 
 
 class TestEventSystemFailure:
@@ -128,10 +137,10 @@ class TestEventSystemFailure:
         cluster.sim.run()
         assert cluster.trace.counters["ompc.node_failures"] == 1
 
-    def test_head_failure_rejected(self):
+    def test_head_failure_allowed(self):
         cluster, events = self.make()
-        with pytest.raises(ValueError):
-            events.fail_node(0)
+        events.fail_node(0)  # head failover made this legal
+        assert events.node_failed(0)
 
     def test_shutdown_skips_failed_nodes(self):
         cluster, events = self.make()
@@ -143,6 +152,37 @@ class TestEventSystemFailure:
 
         p = cluster.sim.process(main())
         cluster.sim.run(until=p)  # must terminate without deadlock
+
+
+class TestFailureInjector:
+    def make(self, n=4):
+        cluster = Cluster(ClusterSpec(num_nodes=n))
+        events = EventSystem(cluster, MpiWorld(cluster), FAST)
+        events.start()
+        return cluster, FailureInjector(events)
+
+    def test_duplicate_node_rejected(self):
+        _, injector = self.make()
+        injector.arm([NodeFailure(time=0.1, node=1)])
+        with pytest.raises(ValueError, match="already has an armed failure"):
+            injector.arm([NodeFailure(time=0.5, node=1)])
+
+    def test_overlap_within_one_batch_rejected(self):
+        _, injector = self.make()
+        with pytest.raises(ValueError, match="already has an armed failure"):
+            injector.arm([
+                NodeFailure(time=0.1, node=2),
+                NodeFailure(time=0.2, node=2),
+            ])
+
+    def test_distinct_nodes_accepted(self):
+        cluster, injector = self.make()
+        injector.arm([
+            NodeFailure(time=0.1, node=1),
+            NodeFailure(time=0.2, node=2),
+        ])
+        cluster.sim.run()
+        assert [f.node for f in injector.injected] == [1, 2]
 
 
 class TestHeartbeatRing:

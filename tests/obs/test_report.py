@@ -83,3 +83,20 @@ class TestFormatUtilization:
         assert "head in-flight slots: avg 2.00, max 2 of 48" in text
         assert "event queue node1" in text
         assert "ompc.events.execute = 5" in text
+        assert "heartbeat health" not in text  # no hb.* counters folded
+
+    def test_heartbeat_health_line(self):
+        cluster, sim, obs = make()
+        obs.gauge_add("head.inflight", 1)
+        obs.count("hb.missed_windows", 7)
+        obs.count("hb.suspect_reports", 3)
+        obs.count("hb.suspicions_cleared", 2)
+        obs.count("hb.false_positives", 1)
+        obs.count("hb.detections", 1)
+        sim.now = 1.0
+        report = utilization_summary(obs, cluster, makespan=1.0)
+        text = format_utilization(report)
+        assert (
+            "heartbeat health: 7 missed windows, 3 suspicions "
+            "(2 cleared, 1 false positives), 1 confirmed detections"
+        ) in text

@@ -1,0 +1,131 @@
+"""Chaos testing: random crash schedules (head included) plus lossy
+links on small task graphs.
+
+The contract under any drawn fault scenario is binary: the run either
+completes with final buffers bit-identical to a fault-free reference
+run, or it raises a clean :class:`RecoveryError` — never a hang, never
+a silently wrong answer.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.faultmodel import FaultPlan, LinkLoss
+from repro.core.faults import (
+    FaultTolerantRuntime,
+    NodeFailure,
+    RecoveryError,
+)
+from repro.omp import OmpProgram
+from repro.omp.task import depend_in, depend_inout, depend_out
+
+FAST = OMPCConfig(
+    startup_time=0.0, shutdown_time=0.0, first_event_interval=0.0,
+    event_origin_overhead=0.0, event_handler_overhead=0.0,
+    task_creation_overhead=0.0, schedule_unit_cost=0.0,
+)
+
+NODES = 5
+
+
+def build_program(shape, num_units, cost):
+    """A fresh program instance plus its (aliased) output arrays."""
+    prog = OmpProgram(shape)
+    outputs = []
+    if shape in ("shots", "mixed"):
+        model = np.arange(16.0)
+        model_buf = prog.buffer(model.nbytes, data=model, name="model")
+        prog.target_enter_data(model_buf)
+        out_bufs = []
+        for i in range(num_units):
+            out = np.zeros(16)
+            outputs.append(out)
+            buf = prog.buffer(out.nbytes, data=out, name=f"out{i}")
+            out_bufs.append(buf)
+            prog.target(
+                fn=lambda m, o: np.copyto(o, m * 2.0),
+                depend=[depend_in(model_buf), depend_out(buf)],
+                cost=cost,
+                name=f"shot{i}",
+            )
+        prog.target_exit_data(*out_bufs)
+    if shape in ("chain", "mixed"):
+        x = np.zeros(8)
+        outputs.append(x)
+        buf = prog.buffer(x.nbytes, data=x, name="x")
+        prog.target_enter_data(buf)
+        for i in range(num_units):
+            prog.target(
+                fn=lambda v: np.add(v, 1.0, out=v),
+                depend=[depend_inout(buf)],
+                cost=cost,
+                name=f"step{i}",
+            )
+        prog.target_exit_data(buf)
+    return prog, outputs
+
+
+# One crash: (node, time).  Times sit on a grid so schedules stay well
+# inside the runs' makespans and shrinking is stable.
+crash = st.tuples(
+    st.integers(min_value=0, max_value=NODES - 1),
+    st.sampled_from([0.01, 0.03, 0.05, 0.08, 0.12]),
+)
+
+scenario = st.fixed_dictionaries({
+    "shape": st.sampled_from(["shots", "chain", "mixed"]),
+    "num_units": st.integers(min_value=2, max_value=4),
+    "cost": st.sampled_from([0.03, 0.05]),
+    "crashes": st.lists(crash, max_size=2, unique_by=lambda c: c[0]),
+    "standbys": st.integers(min_value=1, max_value=2),
+    "loss": st.sampled_from([0.0, 0.05]),
+    "plan_seed": st.integers(min_value=0, max_value=2**16),
+    "checkpoint": st.booleans(),
+})
+
+
+class TestChaosFailover:
+    @given(scenario)
+    @settings(deadline=None, max_examples=30)
+    def test_completes_identically_or_fails_cleanly(self, sc):
+        cfg = dataclasses.replace(
+            FAST,
+            head_standbys=sc["standbys"],
+            checkpoint_interval=0.02 if sc["checkpoint"] else 0.0,
+        )
+        ref_prog, ref_out = build_program(
+            sc["shape"], sc["num_units"], sc["cost"]
+        )
+        FaultTolerantRuntime(ClusterSpec(num_nodes=NODES), cfg).run(ref_prog)
+
+        prog, out = build_program(sc["shape"], sc["num_units"], sc["cost"])
+        failures = [NodeFailure(time=t, node=n) for n, t in sc["crashes"]]
+        plan = None
+        if sc["loss"]:
+            plan = FaultPlan(
+                seed=sc["plan_seed"],
+                losses=[LinkLoss(probability=sc["loss"])],
+            )
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=NODES), cfg)
+        try:
+            res = rt.run(prog, failures=failures, fault_plan=plan)
+        except RecoveryError:
+            return  # clean refusal is an acceptable outcome
+        # Completed: every output must match the fault-free run bit for
+        # bit, and the telemetry must be self-consistent.
+        for a, b in zip(ref_out, out):
+            assert np.array_equal(a, b)
+        head_crashed = any(n == 0 for n, _t in sc["crashes"])
+        if res.head_failovers:
+            assert head_crashed
+            assert res.final_head != 0
+            assert len(res.failovers) == res.head_failovers
+            for fo in res.failovers:
+                assert fo.resumed_at >= fo.elected_at >= fo.declared_at
+        else:
+            assert res.final_head == 0
