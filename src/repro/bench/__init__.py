@@ -15,12 +15,13 @@ table/series reports.
 
 from repro.bench.config import ExperimentConfig, parse_yaml
 from repro.bench.gantt import render_gantt, utilization
-from repro.bench.launcher import Launcher, Record
+from repro.bench.launcher import CellFailure, Launcher, Record
 from repro.bench.report import format_series, format_table
 from repro.bench.stats import Summary, summarize
 
 __all__ = [
     "ExperimentConfig",
+    "CellFailure",
     "Launcher",
     "Record",
     "Summary",

@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench experiment.yaml [more.yaml ...]
     python -m repro.bench --demo
     python -m repro.bench trace <scenario> --out trace.json
+    python -m repro.bench jobs --policy all --quick
 
 Each YAML file describes one experiment (see
 :class:`repro.bench.config.ExperimentConfig`); the launcher runs the
@@ -70,6 +71,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.tracecmd import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "jobs":
+        from repro.bench.jobscmd import main as jobs_main
+
+        return jobs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="OMPC Bench: run Task Bench experiment grids on the "

@@ -1,0 +1,130 @@
+"""The ``jobs`` subcommand: multi-tenant scheduling on one cluster.
+
+Usage::
+
+    python -m repro.bench jobs --policy backfill --nodes 17 --jobs 24
+    python -m repro.bench jobs --policy all --seed 7
+    python -m repro.bench jobs --trace workload.json --policy fifo
+
+Generates a seeded Poisson stream of Task Bench jobs (or replays a JSON
+workload trace), runs it through the :class:`~repro.jobs.JobManager`
+under the chosen admission policy, and prints the cluster-level report:
+per-job wait/run/bounded-slowdown rows, queue-depth profile, and
+space-shared utilization.  ``--policy all`` runs the same workload under
+every policy and appends a comparison table — the quick-look version of
+``benchmarks/bench_jobs_backfill.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.jobs import (
+    POLICIES,
+    JobManager,
+    PoissonWorkload,
+    format_jobs_report,
+    jobs_from_json,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench jobs",
+        description="Run a multi-tenant OMPC workload through the job "
+        "manager and report scheduling metrics.",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=sorted(POLICIES) + ["all"],
+        default="backfill",
+        help="admission policy (or 'all' for a comparison; "
+        "default backfill)",
+    )
+    parser.add_argument("--nodes", type=int, default=17,
+                        help="cluster size incl. the manager node "
+                        "(default 17 -> 16-node worker pool)")
+    parser.add_argument("--jobs", type=int, default=24,
+                        help="jobs in the generated workload (default 24)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload seed (default 7)")
+    parser.add_argument("--mean-interarrival", type=float, default=0.01,
+                        help="mean Poisson inter-arrival time in "
+                        "simulated seconds (default 0.01)")
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="replay a JSON workload trace instead of "
+                        "generating a Poisson stream")
+    parser.add_argument("--quick", action="store_true",
+                        help="small fast workload (8 jobs) for smoke tests")
+    parser.add_argument("--no-per-job", action="store_true",
+                        help="suppress the per-job table")
+    return parser
+
+
+def _workload(args: argparse.Namespace):
+    if args.trace is not None:
+        return jobs_from_json(args.trace.read_text())
+    jobs = 8 if args.quick else args.jobs
+    return PoissonWorkload(
+        seed=args.seed,
+        jobs=jobs,
+        mean_interarrival=args.mean_interarrival,
+        large=(8, 12),
+        large_fraction=0.35,
+        steps=(3, 6),
+        task_seconds=(0.02, 0.08),
+    ).generate()
+
+
+def _run_policy(policy: str, workload, nodes: int):
+    cluster = Cluster(ClusterSpec(num_nodes=nodes))
+    manager = JobManager(cluster, policy=policy)
+    return manager.run(workload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    workload = _workload(args)
+    largest = max(spec.nodes for _, spec in workload) if workload else 0
+    if largest > args.nodes - 1:
+        raise SystemExit(
+            f"workload needs {largest}-node partitions; pass "
+            f"--nodes >= {largest + 1}"
+        )
+
+    policies = sorted(POLICIES) if args.policy == "all" else [args.policy]
+    reports = {}
+    for policy in policies:
+        report = _run_policy(policy, workload, args.nodes)
+        reports[policy] = report
+        print(format_jobs_report(report, per_job=not args.no_per_job))
+        print()
+
+    if len(reports) > 1:
+        from repro.bench.report import format_table
+
+        rows = [
+            [
+                name,
+                f"{r.utilization * 100:.1f}",
+                f"{r.mean_wait:.4f}",
+                f"{r.mean_bounded_slowdown:.2f}",
+                r.backfilled,
+                r.completed,
+                r.failed,
+            ]
+            for name, r in reports.items()
+        ]
+        print(format_table(
+            ["policy", "util %", "mean wait (s)", "mean b.slowdown",
+             "backfills", "completed", "failed"],
+            rows,
+            title="policy comparison (same workload)",
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

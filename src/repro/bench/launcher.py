@@ -43,16 +43,33 @@ class Record:
     network_bytes: float = 0.0
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """A grid cell whose run raised instead of producing a Record."""
+
+    experiment: str
+    runtime: str
+    pattern: str
+    nodes: int
+    ccr: float
+    error: str
+
+
 @dataclass
 class Launcher:
     """Runs experiment configs and accumulates records.
 
     ``bandwidth`` is the reference fabric bandwidth used to derive
     CCR-matched message sizes (defaults to the 100 Gb/s of §6.1).
+
+    A cell that raises does not abort the sweep: its error is captured
+    in ``failures`` and the grid moves on, so an overnight matrix still
+    yields every healthy point.
     """
 
     bandwidth: float = 100e9 / 8.0
     records: list[Record] = field(default_factory=list)
+    failures: list[CellFailure] = field(default_factory=list)
     progress: Callable[[str], None] | None = None
 
     def _log(self, message: str) -> None:
@@ -74,10 +91,27 @@ class Launcher:
                 pattern = Pattern(pattern_name)
                 for nodes in config.nodes:
                     for ccr in config.ccrs:
-                        record = self._run_cell(
-                            config, factory(), runtime_name, pattern,
-                            nodes, ccr,
-                        )
+                        try:
+                            record = self._run_cell(
+                                config, factory(), runtime_name, pattern,
+                                nodes, ccr,
+                            )
+                        except Exception as exc:
+                            failure = CellFailure(
+                                experiment=config.name,
+                                runtime=runtime_name,
+                                pattern=pattern.value,
+                                nodes=nodes,
+                                ccr=ccr,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            self.failures.append(failure)
+                            self._log(
+                                f"{config.name}: {runtime_name} "
+                                f"{pattern.value} nodes={nodes} ccr={ccr} "
+                                f"FAILED ({failure.error})"
+                            )
+                            continue
                         new_records.append(record)
         self.records.extend(new_records)
         return new_records

@@ -10,16 +10,20 @@ Communication Interfaces (VCIs).
 from repro.cluster.machine import Cluster, ClusterSpec
 from repro.cluster.network import Network, NetworkSpec, Nic
 from repro.cluster.node import Node, NodeSpec
+from repro.cluster.partition import ClusterView, NodePool, PartitionError
 from repro.cluster.trace import Span, TraceRecorder
 
 __all__ = [
     "Cluster",
     "ClusterSpec",
+    "ClusterView",
     "Network",
     "NetworkSpec",
     "Nic",
     "Node",
+    "NodePool",
     "NodeSpec",
+    "PartitionError",
     "Span",
     "TraceRecorder",
 ]

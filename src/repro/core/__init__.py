@@ -33,6 +33,7 @@ from repro.core.faults import (
     RecoveryError,
 )
 from repro.core.headlog import HeadLog, LogRecord, Replicator
+from repro.core.memory import DeviceMemory, DeviceMemoryError
 from repro.core.runtime import OMPCRunResult, OMPCRuntime
 from repro.core.scheduler import (
     HeftScheduler,
@@ -44,6 +45,8 @@ from repro.core.scheduler import (
 
 __all__ = [
     "DataManager",
+    "DeviceMemory",
+    "DeviceMemoryError",
     "FTRunResult",
     "FailoverEvent",
     "FailureInjector",

@@ -82,6 +82,12 @@ class OMPCConfig:
     write_detection: str = "dependencies"
     page_size: int = 4096
     page_fault_overhead: float = 0.3e-6
+    #: Per-node device-memory capacity in bytes; 0 means unlimited (the
+    #: historical behavior).  With a finite capacity, mapping more
+    #: buffer bytes than fit on a node raises ``DeviceMemoryError`` —
+    #: essential once several jobs partition one cluster and none may
+    #: assume it owns infinite device memory.
+    device_memory_bytes: float = 0.0
 
     # -- transient-fault tolerance (repro.core.faultmodel extension) --------
     #: Head-side checkpoint period for written buffers; 0 disables
@@ -143,6 +149,8 @@ class OMPCConfig:
             raise ValueError("page_size must be >= 1")
         if self.page_fault_overhead < 0:
             raise ValueError("page_fault_overhead must be >= 0")
+        if self.device_memory_bytes < 0:
+            raise ValueError("device_memory_bytes must be >= 0 (0 = unlimited)")
         if self.checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0 (0 = off)")
         if self.straggler_factor < 0:

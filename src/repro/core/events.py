@@ -97,7 +97,11 @@ class EventSystem:
         self.pool = CommunicatorPool(mpi, config.num_comms)
         self.tags = TagAllocator()
         #: Per-node mapped-buffer tables (the "device memory").
-        self.memories = [DeviceMemory(i) for i in range(cluster.num_nodes)]
+        capacity = config.device_memory_bytes or None
+        self.memories = [
+            DeviceMemory(i, capacity_bytes=capacity)
+            for i in range(cluster.num_nodes)
+        ]
 
         self._queues = [
             Store(self.sim, name=f"evq{i}") for i in range(cluster.num_nodes)
@@ -257,6 +261,15 @@ class EventSystem:
         except Interrupt:
             return  # node crashed mid-event; the origin races failure_event
 
+    def _mem_gauge(self, node_id: int, mem: DeviceMemory) -> None:
+        """Publish the node's resident-byte footprint after a table change."""
+        if self.obs.enabled:
+            self.obs.gauge_set(
+                f"node{node_id}.mem.resident_bytes",
+                mem.resident_bytes,
+                node=node_id,
+            )
+
     def _handle(self, node_id: int, note: Notification):
         mem = self.memories[node_id]
         comm = self.pool.select(note.tag)
@@ -264,17 +277,22 @@ class EventSystem:
         cfg = self.config
 
         if note.event_type == EventType.ALLOC:
-            mem.alloc(note.info["buffer_id"], note.info.get("payload"))
+            mem.alloc(note.info["buffer_id"], note.info.get("payload"),
+                      nbytes=note.info.get("nbytes", 0.0))
+            self._mem_gauge(node_id, mem)
             yield from rank.send(note.origin, "done", cfg.completion_bytes, note.tag)
 
         elif note.event_type == EventType.DELETE:
             mem.delete(note.info["buffer_id"])
+            self._mem_gauge(node_id, mem)
             yield from rank.send(note.origin, "done", cfg.completion_bytes, note.tag)
 
         elif note.event_type == EventType.SUBMIT:
             msg = yield from rank.recv(src=note.origin, tag=note.tag)
             if note.info["buffer_id"] not in mem:
-                mem.alloc(note.info["buffer_id"])
+                mem.alloc(note.info["buffer_id"],
+                          nbytes=note.info.get("nbytes", 0.0))
+                self._mem_gauge(node_id, mem)
             mem.write(note.info["buffer_id"], msg.payload)
             yield from rank.send(note.origin, "done", cfg.completion_bytes, note.tag)
 
@@ -294,7 +312,9 @@ class EventSystem:
         elif note.event_type == EventType.EXCHANGE_DST:
             msg = yield from rank.recv(src=note.info["src"], tag=note.tag)
             if note.info["buffer_id"] not in mem:
-                mem.alloc(note.info["buffer_id"])
+                mem.alloc(note.info["buffer_id"],
+                          nbytes=note.info.get("nbytes", 0.0))
+                self._mem_gauge(node_id, mem)
             mem.write(note.info["buffer_id"], msg.payload)
             yield from rank.send(note.origin, "done", cfg.completion_bytes, note.tag)
 
@@ -322,7 +342,9 @@ class EventSystem:
             msg = yield from rank.recv(src=parent, tag=note.tag)
             payload = msg.payload
             if note.info["buffer_id"] not in mem:
-                mem.alloc(note.info["buffer_id"])
+                mem.alloc(note.info["buffer_id"],
+                          nbytes=note.info.get("nbytes", 0.0))
+                self._mem_gauge(node_id, mem)
             mem.write(note.info["buffer_id"], payload)
         for child in note.info["children"]:
             yield from rank.send(child, payload, note.info["nbytes"], note.tag)
@@ -530,17 +552,23 @@ class EventSystem:
         return msg
 
     # -- the plugin-visible operations ------------------------------------
-    def alloc(self, dst: int, buffer_id: int, payload: Any = None, origin: int = 0):
+    def alloc(self, dst: int, buffer_id: int, payload: Any = None,
+              origin: int = 0, nbytes: float = 0.0):
         """Generator: allocate a device entry for ``buffer_id`` on ``dst``.
 
         ``payload`` optionally seeds the entry with the host-side object
         reference *without charging any transfer time* — this stands in
         for "device memory the task is about to fill" when buffers carry
         real NumPy arrays (payloads travel by reference; only explicit
-        submit/exchange/retrieve operations charge bytes).
+        submit/exchange/retrieve operations charge bytes).  ``nbytes``
+        is the logical size billed against the node's device-memory
+        capacity; an overflow surfaces as ``DeviceMemoryError`` on the
+        worker.
         """
         tag = yield from self._begin(origin, dst, EventType.ALLOC,
-                                     {"buffer_id": buffer_id, "payload": payload})
+                                     {"buffer_id": buffer_id,
+                                      "payload": payload,
+                                      "nbytes": nbytes})
         yield from self._await_completion(origin, dst, tag)
 
     def delete(self, dst: int, buffer_id: int, origin: int = 0):
@@ -553,7 +581,8 @@ class EventSystem:
                origin: int = 0):
         """Generator: push data origin → ``dst`` (host-to-device copy)."""
         tag = yield from self._begin(origin, dst, EventType.SUBMIT,
-                                     {"buffer_id": buffer_id})
+                                     {"buffer_id": buffer_id,
+                                      "nbytes": nbytes})
         comm = self.pool.select(tag)
         req = comm.rank(origin).isend(dst, payload, nbytes, tag)
         yield from self._await_completion(origin, dst, tag)

@@ -607,18 +607,58 @@ class FaultTolerantRuntime:
         failures: Sequence[NodeFailure] = (),
         fault_plan: FaultPlan | None = None,
     ) -> FTRunResult:
+        """Execute ``program`` on a fresh cluster and drive the clock."""
+        main_proc, finish = self.launch(
+            program, failures=failures, fault_plan=fault_plan
+        )
+        main_proc.sim.run(until=main_proc)
+        return finish()
+
+    def launch(
+        self,
+        program: OmpProgram,
+        failures: Sequence[NodeFailure] = (),
+        fault_plan: FaultPlan | None = None,
+        cluster=None,
+    ):
+        """Set up one execution and return ``(main_process, finish)``.
+
+        Mirrors :meth:`OMPCRuntime.launch`: with ``cluster=None`` a
+        private machine is built and the caller drives the clock via
+        ``run``; with an externally-owned cluster (in practice a
+        :class:`~repro.cluster.partition.ClusterView`) the execution
+        joins an already-ticking simulation.  Failure times stay
+        relative to runtime startup either way (the injector arms after
+        startup completes).  A ``fault_plan`` cannot be combined with an
+        external cluster — plans install on the physical machine, which
+        the partition's owner must do before carving views.
+        """
         program.validate()
         failures = tuple(failures)
-        cluster = Cluster(self.cluster_spec)
+        if cluster is None:
+            cluster = Cluster(self.cluster_spec)
+        else:
+            if cluster.num_nodes != self.cluster_spec.num_nodes:
+                raise ValueError(
+                    f"cluster has {cluster.num_nodes} nodes, spec expects "
+                    f"{self.cluster_spec.num_nodes}"
+                )
+            if fault_plan is not None:
+                raise ValueError(
+                    "fault_plan must be installed on the physical cluster, "
+                    "not passed to a launch on a shared cluster view"
+                )
         self.last_cluster = cluster
         sim = cluster.sim
-        if self.config.trace:
+        t0 = sim.now
+        if self.config.trace and not cluster.obs.enabled:
             # Must precede MpiWorld/EventSystem construction — both
             # capture ``cluster.obs`` when built.
             cluster.install_observer(Observer(sim))
         active = fault_plan.install(cluster) if fault_plan is not None else None
         transport = self.transport
-        if transport is None and active is not None and active.plan.lossy:
+        ambient = active if active is not None else cluster.faults
+        if transport is None and ambient is not None and ambient.plan.lossy:
             transport = TransportConfig()
         mpi = MpiWorld(cluster, transport=transport)
         events = EventSystem(cluster, mpi, self.config)
@@ -1027,7 +1067,8 @@ class FaultTolerantRuntime:
             for buf in allocs:
                 yield from guarded(node, events.alloc(node, buf.buffer_id,
                                                       payload=buf.data,
-                                                      origin=home))
+                                                      origin=home,
+                                                      nbytes=buf.nbytes))
                 dm.commit_alloc(buf, node)
             if node == home:
                 # Self-dispatch (the elected head doubles as a worker):
@@ -1044,6 +1085,7 @@ class FaultTolerantRuntime:
                         yield from guarded(node, events.alloc(
                             node, dep.buffer.buffer_id,
                             payload=dep.buffer.data, origin=home,
+                            nbytes=dep.buffer.nbytes,
                         ))
             for dep in task.deps:
                 if task.dep_type_for(dep.buffer).reads and not dm.is_resident(
@@ -1482,6 +1524,22 @@ class FaultTolerantRuntime:
 
         def main():
             nonlocal ckpt_stop
+            try:
+                yield from main_body()
+            except BaseException:
+                # Unrecoverable abort: tear this job's machinery down so
+                # a shared simulation (multi-tenant cluster views) is
+                # not left with orphaned heartbeat/gate processes
+                # ticking forever after the error propagates out.
+                ckpt_stop = True
+                ring.stop()
+                for node in range(cluster.num_nodes):
+                    if not events.node_failed(node):
+                        events.fail_node(node)
+                raise
+
+        def main_body():
+            nonlocal ckpt_stop
             yield sim.timeout(cfg.startup_time)
             events.start()
             ring.start()
@@ -1533,40 +1591,43 @@ class FaultTolerantRuntime:
             yield sim.timeout(cfg.shutdown_time)
 
         main_proc = sim.process(main(), name="ompc-ft-main")
-        sim.run(until=main_proc)
-        result.makespan = sim.now
-        result.detections = list(ring.detections)
-        result.task_attempts = dict(attempts)
-        result.counters = dict(cluster.trace.counters)
-        result.suspicions_cleared = ring.suspicions_cleared
-        result.false_positive_detections = ring.false_positives
-        declared = {d for d, _by, _t in ring.detections}
-        result.false_negative_detections = len(
-            {f.node for f in injector.injected} - declared
-        )
-        result.transport = dict(mpi.stats)
-        result.missed_heartbeat_windows = ring.missed_windows
-        result.final_head = home
-        result.head_failovers = len(failovers)
-        result.failovers = list(failovers)
-        if repl is not None:
-            result.log_records_appended = log.appended
-            result.replication_bytes = repl.stats["bytes_sent"]
-            result.log_flushes = repl.stats["flushes"]
-            result.replication = dict(repl.stats)
-        if active is not None:
-            result.counters["faults.dropped_messages"] = (
-                active.dropped_messages
+
+        def finish() -> FTRunResult:
+            result.makespan = sim.now - t0
+            result.detections = list(ring.detections)
+            result.task_attempts = dict(attempts)
+            result.counters = dict(cluster.trace.counters)
+            result.suspicions_cleared = ring.suspicions_cleared
+            result.false_positive_detections = ring.false_positives
+            declared = {d for d, _by, _t in ring.detections}
+            result.false_negative_detections = len(
+                {f.node for f in injector.injected} - declared
             )
-        if cluster.obs.enabled:
-            # Fold the transport + event-system tallies into the
-            # observer so one object carries the whole run's metrics.
-            for stat, value in mpi.stats.items():
-                cluster.obs.count(f"mpi.transport.{stat}", value)
-            for counter_name, value in cluster.trace.counters.items():
-                cluster.obs.count(counter_name, value)
-            result.obs = cluster.obs
-        return result
+            result.transport = dict(mpi.stats)
+            result.missed_heartbeat_windows = ring.missed_windows
+            result.final_head = home
+            result.head_failovers = len(failovers)
+            result.failovers = list(failovers)
+            if repl is not None:
+                result.log_records_appended = log.appended
+                result.replication_bytes = repl.stats["bytes_sent"]
+                result.log_flushes = repl.stats["flushes"]
+                result.replication = dict(repl.stats)
+            if active is not None:
+                result.counters["faults.dropped_messages"] = (
+                    active.dropped_messages
+                )
+            if cluster.obs.enabled:
+                # Fold the transport + event-system tallies into the
+                # observer so one object carries the whole run's metrics.
+                for stat, value in mpi.stats.items():
+                    cluster.obs.count(f"mpi.transport.{stat}", value)
+                for counter_name, value in cluster.trace.counters.items():
+                    cluster.obs.count(counter_name, value)
+                result.obs = cluster.obs
+            return result
+
+        return main_proc, finish
 
 
 def _snapshot(payload: Any) -> Any:

@@ -6,6 +6,12 @@ nodes live in one Python process); the simulation charges transfer time
 for the bytes, and the *table* is the ground truth the coherency tests
 inspect: reading a buffer on a node where the data manager never
 materialized it raises, so protocol bugs surface as hard errors.
+
+The table also accounts bytes.  Each entry carries the mapped buffer's
+logical size, ``resident_bytes`` sums them, and a node constructed with
+a finite ``capacity_bytes`` refuses allocations past it with a hard
+:class:`DeviceMemoryError` — so co-located jobs in a multi-tenant run
+cannot silently share infinite device memory.
 """
 
 from __future__ import annotations
@@ -16,15 +22,28 @@ from repro.sim.errors import SimulationError
 
 
 class DeviceMemoryError(SimulationError):
-    """Access to a buffer not resident on this node."""
+    """Access to a buffer not resident on this node, or memory overflow."""
 
 
 class DeviceMemory:
-    """The mapped-buffer table of one worker node."""
+    """The mapped-buffer table of one worker node.
 
-    def __init__(self, node_id: int):
+    ``capacity_bytes=None`` means unlimited (the default, and the
+    historical behavior); a finite capacity turns over-allocation into a
+    hard failure at the exact alloc that crosses the line.
+    """
+
+    def __init__(self, node_id: int, capacity_bytes: float | None = None):
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0 or None")
         self.node_id = node_id
+        self.capacity_bytes = capacity_bytes
         self._table: dict[int, Any] = {}
+        self._sizes: dict[int, float] = {}
+        #: Logical bytes currently mapped on this node.
+        self.resident_bytes = 0.0
+        #: High-water mark of :attr:`resident_bytes` over the run.
+        self.peak_bytes = 0.0
         #: Diagnostics: total allocations/removals over the run.
         self.allocations = 0
         self.deletions = 0
@@ -35,11 +54,32 @@ class DeviceMemory:
     def __len__(self) -> int:
         return len(self._table)
 
-    def alloc(self, buffer_id: int, payload: Any = None) -> None:
-        """Create (or overwrite) the device entry for a buffer."""
+    def alloc(self, buffer_id: int, payload: Any = None,
+              nbytes: float = 0.0) -> None:
+        """Create (or overwrite) the device entry for a buffer.
+
+        ``nbytes`` is the buffer's logical size; re-allocating an
+        existing entry re-sizes it (the delta is what counts against
+        capacity).
+        """
+        delta = nbytes - self._sizes.get(buffer_id, 0.0)
+        if (
+            self.capacity_bytes is not None
+            and self.resident_bytes + delta > self.capacity_bytes
+        ):
+            raise DeviceMemoryError(
+                f"node {self.node_id}: out of device memory allocating "
+                f"buffer {buffer_id} ({nbytes:.0f} B; "
+                f"{self.resident_bytes:.0f} of {self.capacity_bytes:.0f} B "
+                f"resident)"
+            )
         if buffer_id not in self._table:
             self.allocations += 1
         self._table[buffer_id] = payload
+        self._sizes[buffer_id] = nbytes
+        self.resident_bytes += delta
+        if self.resident_bytes > self.peak_bytes:
+            self.peak_bytes = self.resident_bytes
 
     def write(self, buffer_id: int, payload: Any) -> None:
         """Store incoming data for an already-allocated buffer."""
@@ -64,7 +104,16 @@ class DeviceMemory:
                 f"node {self.node_id}: delete of non-resident buffer {buffer_id}"
             )
         del self._table[buffer_id]
+        self.resident_bytes -= self._sizes.pop(buffer_id, 0.0)
         self.deletions += 1
+
+    def size_of(self, buffer_id: int) -> float:
+        """Logical bytes of a resident buffer (0 for unknown sizes)."""
+        if buffer_id not in self._table:
+            raise DeviceMemoryError(
+                f"node {self.node_id}: size of non-resident buffer {buffer_id}"
+            )
+        return self._sizes.get(buffer_id, 0.0)
 
     def resident_buffers(self) -> list[int]:
         return sorted(self._table)
@@ -72,3 +121,5 @@ class DeviceMemory:
     def wipe(self) -> None:
         """Drop every entry (node crash: its memory contents are gone)."""
         self._table.clear()
+        self._sizes.clear()
+        self.resident_bytes = 0.0

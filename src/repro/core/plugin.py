@@ -57,8 +57,10 @@ class ClusterPlugin(DevicePlugin):
         yield from self.events.shutdown()
 
     # -- plugin interface --------------------------------------------------
-    def data_alloc(self, device: int, buffer_id: int):
-        yield from self.events.alloc(self.node_of(device), buffer_id)
+    def data_alloc(self, device: int, buffer_id: int, nbytes: float = 0.0):
+        yield from self.events.alloc(
+            self.node_of(device), buffer_id, nbytes=nbytes
+        )
 
     def data_delete(self, device: int, buffer_id: int):
         yield from self.events.delete(self.node_of(device), buffer_id)

@@ -98,13 +98,39 @@ class OMPCRuntime:
 
     # ------------------------------------------------------------------
     def run(self, program: OmpProgram) -> OMPCRunResult:
+        """Execute ``program`` on a fresh cluster and drive the clock."""
+        main_proc, finish = self.launch(program)
+        main_proc.sim.run(until=main_proc)
+        return finish()
+
+    def launch(self, program: OmpProgram, cluster=None):
+        """Set up one execution and return ``(main_process, finish)``.
+
+        With ``cluster=None`` a private :class:`Cluster` is built from
+        ``self.cluster_spec`` (the classic single-application path).
+        Passing a cluster — in practice a
+        :class:`~repro.cluster.partition.ClusterView` partition — runs
+        the program *inside an already-ticking simulation*: the caller
+        owns the clock, this runtime only contributes a process.  All
+        result times are relative to launch (``makespan`` is the job's
+        duration, not the absolute clock), and ``finish()`` must be
+        called only after the returned process has completed.
+        """
         program.validate()
-        cluster = Cluster(self.cluster_spec)
+        if cluster is None:
+            cluster = Cluster(self.cluster_spec)
+        elif cluster.num_nodes != self.cluster_spec.num_nodes:
+            raise ValueError(
+                f"cluster has {cluster.num_nodes} nodes, spec expects "
+                f"{self.cluster_spec.num_nodes}"
+            )
         self.last_cluster = cluster
         sim = cluster.sim
-        if self.config.trace:
+        t0 = sim.now
+        if self.config.trace and not cluster.obs.enabled:
             # Must precede MpiWorld/EventSystem construction — both
-            # capture ``cluster.obs`` when built.
+            # capture ``cluster.obs`` when built.  On a ClusterView this
+            # attaches to the view only, keeping job traces isolated.
             cluster.install_observer(Observer(sim))
         obs = cluster.obs
         mpi = MpiWorld(cluster)
@@ -268,7 +294,8 @@ class OMPCRuntime:
                 target=node, moves=len(moves), allocs=len(allocs),
             )
             for buf in allocs:
-                yield from events.alloc(node, buf.buffer_id, payload=buf.data)
+                yield from events.alloc(node, buf.buffer_id, payload=buf.data,
+                                        nbytes=buf.nbytes)
                 dm.commit_alloc(buf, node)
             yield from perform_moves(moves)
             obs.end(fetch_span)
@@ -368,17 +395,24 @@ class OMPCRuntime:
                     broadcast_targets[bid] = tuple(nodes)
 
         main_proc = sim.process(main(), name="ompc-main")
-        sim.run(until=main_proc)
-        result.makespan = sim.now
-        result.counters = dict(trace.counters)
-        result.network_bytes = cluster.network.total_bytes
-        result.network_messages = cluster.network.total_messages
-        if obs.enabled:
-            # Fold the transport + event-system tallies into the
-            # observer so one object carries the whole run's metrics.
-            for stat, value in mpi.stats.items():
-                obs.count(f"mpi.transport.{stat}", value)
-            for counter_name, value in trace.counters.items():
-                obs.count(counter_name, value)
-            result.obs = obs
-        return result
+        net_bytes0 = cluster.network.total_bytes
+        net_msgs0 = cluster.network.total_messages
+
+        def finish() -> OMPCRunResult:
+            result.makespan = sim.now - t0
+            result.counters = dict(trace.counters)
+            result.network_bytes = cluster.network.total_bytes - net_bytes0
+            result.network_messages = (
+                cluster.network.total_messages - net_msgs0
+            )
+            if obs.enabled:
+                # Fold the transport + event-system tallies into the
+                # observer so one object carries the whole run's metrics.
+                for stat, value in mpi.stats.items():
+                    obs.count(f"mpi.transport.{stat}", value)
+                for counter_name, value in trace.counters.items():
+                    obs.count(counter_name, value)
+                result.obs = obs
+            return result
+
+        return main_proc, finish

@@ -1,0 +1,40 @@
+"""Multi-tenant job management for one simulated OMPC cluster.
+
+The paper runs one application on a dedicated cluster; this package is
+the workload-manager layer above it: a stream of OMPC jobs shares one
+machine through space-shared node partitions, an admission queue with
+pluggable policies (FIFO, fair-share-per-tenant, EASY backfill), and
+per-job isolated runtime instances.  See DESIGN.md §"Multi-tenant
+execution".
+"""
+
+from repro.jobs.job import Job, JobSpec, JobState
+from repro.jobs.manager import JobManager
+from repro.jobs.policies import (
+    POLICIES,
+    AdmissionPolicy,
+    EasyBackfillPolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    make_policy,
+)
+from repro.jobs.telemetry import JobRecord, JobsReport, format_jobs_report
+from repro.jobs.workload import PoissonWorkload, jobs_from_json
+
+__all__ = [
+    "AdmissionPolicy",
+    "EasyBackfillPolicy",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "Job",
+    "JobManager",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobsReport",
+    "POLICIES",
+    "PoissonWorkload",
+    "format_jobs_report",
+    "jobs_from_json",
+    "make_policy",
+]

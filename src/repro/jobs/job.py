@@ -1,0 +1,160 @@
+"""Job descriptions and per-job lifecycle state.
+
+A :class:`JobSpec` is the immutable request a tenant submits: which
+program to run (as a zero-argument factory, so every attempt gets a
+fresh task graph), how many nodes it needs, who is asking, and how it
+should be treated.  The :class:`Job` wraps one spec with the mutable
+scheduling record — queue/run timestamps, the physical partition it
+ran on, attempt counts — from which all the standard batch-scheduling
+metrics (wait, turnaround, slowdown, bounded slowdown) derive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.config import OMPCConfig
+from repro.core.faults import NodeFailure
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    PENDING = "pending"      # submitted (or requeued), waiting for nodes
+    RUNNING = "running"      # holds a partition, runtime in flight
+    COMPLETED = "completed"  # finished successfully
+    FAILED = "failed"        # gave up (unrecoverable, or out of attempts)
+
+
+#: Terminal states — a job in one of these never changes again.
+TERMINAL_STATES = frozenset({JobState.COMPLETED, JobState.FAILED})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's request to run an OMPC application.
+
+    ``program`` is a factory, not a program: requeued attempts and
+    deterministic replays both need to rebuild the task graph from
+    scratch (buffers carry run-local payloads).
+
+    ``est_runtime`` is the user's runtime estimate, the quantity EASY
+    backfill reasons with; 0 means "unknown", which disables holes that
+    rely on this job finishing in time.
+
+    ``failures`` (times relative to the job's own startup) and
+    ``fault_tolerant`` select the fault-tolerant runtime — a partition
+    of at least 3 nodes — so a partition losing a node resumes through
+    the existing checkpoint/failover machinery instead of dying.
+    """
+
+    name: str
+    program: Callable[[], Any]
+    nodes: int
+    tenant: str = "default"
+    priority: int = 0
+    est_runtime: float = 0.0
+    config: OMPCConfig | None = None
+    fault_tolerant: bool = False
+    failures: tuple[NodeFailure, ...] = ()
+    max_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if not callable(self.program):
+            raise TypeError("program must be a zero-argument callable")
+        floor = 3 if (self.fault_tolerant or self.failures) else 2
+        if self.nodes < floor:
+            raise ValueError(
+                f"job {self.name!r} needs >= {floor} nodes "
+                f"(head + worker{'s' if floor > 2 else ''}"
+                f"{', fault tolerance needs two workers' if floor > 2 else ''}"
+                f"), got {self.nodes}"
+            )
+        if self.est_runtime < 0:
+            raise ValueError("est_runtime must be >= 0 (0 = unknown)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        object.__setattr__(self, "failures", tuple(self.failures))
+
+    @property
+    def needs_fault_tolerance(self) -> bool:
+        return self.fault_tolerant or bool(self.failures)
+
+
+class Job:
+    """One submitted job: spec + scheduling record + outcome."""
+
+    def __init__(self, job_id: int, spec: JobSpec, submit_time: float):
+        self.job_id = job_id
+        self.spec = spec
+        self.state = JobState.PENDING
+        #: When the job entered the queue (arrival time).
+        self.submit_time = submit_time
+        #: When the job last started running (None while queued).
+        self.start_time: float | None = None
+        self.finish_time: float | None = None
+        #: Physical node ids of the partition of the current/last run.
+        self.partition: tuple[int, ...] = ()
+        self.attempts = 0
+        self.requeues = 0
+        #: True when the *current/last* dispatch jumped the queue.
+        self.backfilled = False
+        #: Injected failures still pending for the next attempt (fired
+        #: ones are stripped when a crashed attempt is requeued).
+        self.pending_failures: tuple[NodeFailure, ...] = spec.failures
+        #: The runtime's result object on success (OMPCRunResult or
+        #: FTRunResult), or None.
+        self.result: Any = None
+        self.error: str | None = None
+
+    # -- derived metrics ---------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def wait_time(self) -> float | None:
+        """Submission → first node allocation (requeue waits included:
+        the clock runs from the original submission)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> float | None:
+        """Duration of the final (successful or fatal) run."""
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    @property
+    def turnaround(self) -> float | None:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+    @property
+    def slowdown(self) -> float | None:
+        """Turnaround over run time (1.0 = ran the instant it arrived)."""
+        run = self.run_time
+        if run is None or run <= 0 or self.turnaround is None:
+            return None
+        return self.turnaround / run
+
+    def bounded_slowdown(self, tau: float = 1e-3) -> float | None:
+        """Slowdown with short jobs clamped to ``tau`` seconds, so a
+        trivial job's wait does not dominate the mean (the standard
+        bounded-slowdown metric of the backfill literature)."""
+        if self.turnaround is None or self.run_time is None:
+            return None
+        return max(1.0, self.turnaround / max(self.run_time, tau))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Job #{self.job_id} {self.spec.name!r} {self.state.value} "
+            f"nodes={self.spec.nodes} tenant={self.spec.tenant}>"
+        )

@@ -1,0 +1,201 @@
+"""Admission policies: which queued jobs get nodes right now.
+
+Each policy is a pure decision function over the manager's visible
+state (queue contents, free node count, running jobs and their
+estimated ends, per-tenant usage): given the queue, return the jobs to
+start *now*, in order.  The manager re-invokes the policy on every
+queue change (arrival, completion, requeue), so policies never sleep or
+look into the future — except EASY backfill, which reasons about the
+future *analytically* through runtime estimates.
+
+Three classic disciplines:
+
+``fifo``
+    First-come-first-served with strict head-of-line blocking: if the
+    oldest job does not fit, nothing behind it may pass.  Simple and
+    starvation-free, but fragmenting — big jobs leave idle nodes.
+
+``fair``
+    Fair share per tenant: the queue is ordered by each tenant's
+    accumulated node-seconds (least-served first), so one tenant
+    flooding the queue cannot starve the others.  Still head-of-line
+    blocking within the fair order.
+
+``backfill``
+    EASY backfill (Lifka's argonne scheme): FCFS order, but while the
+    head job waits for nodes it gets a *reservation* at the earliest
+    time enough nodes free up (the shadow time), and smaller jobs may
+    jump the queue iff they cannot delay that reservation — they
+    either finish before the shadow time or use only nodes the head
+    job won't need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.jobs.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jobs.manager import JobManager
+
+
+class AdmissionPolicy:
+    """Decide which queued jobs to start, given the manager's state."""
+
+    #: Registry key (subclasses set it; ``POLICIES`` maps it back).
+    name = "abstract"
+
+    def select(
+        self, queue: list[Job], manager: "JobManager"
+    ) -> list[tuple[Job, bool]]:
+        """Jobs to start now as ``(job, is_backfill)`` pairs, in order.
+
+        Must be consistent: the returned jobs' node demands fit in
+        ``manager.pool.free_count`` cumulatively.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+    @staticmethod
+    def fcfs_key(job: Job):
+        """Priority first (higher sooner), then arrival, then id."""
+        return (-job.spec.priority, job.submit_time, job.job_id)
+
+    @staticmethod
+    def _take_prefix(
+        order: list[Job], free: int
+    ) -> tuple[list[tuple[Job, bool]], list[Job], int]:
+        """Start jobs from the front while they fit; stop at the first
+        that does not (head-of-line blocking)."""
+        picks: list[tuple[Job, bool]] = []
+        index = 0
+        for job in order:
+            if job.spec.nodes > free:
+                break
+            picks.append((job, False))
+            free -= job.spec.nodes
+            index += 1
+        return picks, order[index:], free
+
+
+class FifoPolicy(AdmissionPolicy):
+    """Strict FCFS: nothing passes a blocked queue head."""
+
+    name = "fifo"
+
+    def select(self, queue, manager):
+        order = sorted(queue, key=self.fcfs_key)
+        picks, _rest, _free = self._take_prefix(order, manager.pool.free_count)
+        return picks
+
+
+class FairSharePolicy(AdmissionPolicy):
+    """Least-served tenant first, by accumulated node-seconds.
+
+    A tenant's usage grows by ``nodes × runtime`` for every completed
+    (or currently-running, charged on completion) job, so the ordering
+    continuously re-balances: tenants that consumed little recently
+    move to the front regardless of how many requests the heavy tenant
+    has queued.  Ties fall back to FCFS order.
+    """
+
+    name = "fair"
+
+    def select(self, queue, manager):
+        def key(job: Job):
+            return (manager.tenant_usage.get(job.spec.tenant, 0.0),
+                    *self.fcfs_key(job))
+
+        order = sorted(queue, key=key)
+        picks, _rest, _free = self._take_prefix(order, manager.pool.free_count)
+        return picks
+
+
+class EasyBackfillPolicy(AdmissionPolicy):
+    """EASY backfill: FCFS with a reservation for the blocked head.
+
+    When the head job cannot start, compute its *shadow time* — the
+    earliest instant enough nodes will be free, assuming running jobs
+    end at their estimates — and the *extra* nodes left over at that
+    instant.  A smaller queued job may start now iff it fits the free
+    nodes and either (a) its estimate ends before the shadow time, or
+    (b) it uses only extra nodes.  Jobs with unknown estimates can
+    only backfill through (b).
+    """
+
+    name = "backfill"
+
+    def select(self, queue, manager):
+        free = manager.pool.free_count
+        order = sorted(queue, key=self.fcfs_key)
+        picks, rest, free = self._take_prefix(order, free)
+        if not rest:
+            return picks
+
+        head = rest[0]
+        shadow, extra = self._reservation(head, manager, free)
+        now = manager.sim.now
+        for job in rest[1:]:
+            if job.spec.nodes > free:
+                continue
+            est = job.spec.est_runtime
+            fits_window = est > 0 and now + est <= shadow
+            fits_extra = job.spec.nodes <= extra
+            if fits_window:
+                pass  # done before the head needs any of these nodes
+            elif fits_extra:
+                extra -= job.spec.nodes  # may run past the shadow time
+            else:
+                continue
+            picks.append((job, True))
+            free -= job.spec.nodes
+        return picks
+
+    @staticmethod
+    def _reservation(
+        head: Job, manager: "JobManager", free: int
+    ) -> tuple[float, int]:
+        """The head job's reservation: ``(shadow_time, extra_nodes)``.
+
+        Walk running jobs in estimated-end order, accumulating the
+        nodes each release; the shadow time is when the head's demand
+        is first covered.  A running job with an unknown estimate
+        releases at +inf, so nodes held by it never enter the shadow
+        computation — conservative, never delays the head.
+        """
+        available = free
+        if available >= head.spec.nodes:  # pragma: no cover - head fits
+            return manager.sim.now, available - head.spec.nodes
+        running = sorted(
+            manager.running.values(), key=manager.estimated_end_of
+        )
+        for job in running:
+            end = manager.estimated_end_of(job)
+            available += len(job.partition)
+            if available >= head.spec.nodes:
+                return end, available - head.spec.nodes
+        # Not coverable even when everything ends (pool shrank or the
+        # estimates are unknown): no reservation to protect, backfill
+        # may only use currently-free nodes that are extra by definition.
+        return math.inf, free
+
+
+#: Policy registry for CLI/benchmark selection by name.
+POLICIES: dict[str, type[AdmissionPolicy]] = {
+    policy.name: policy
+    for policy in (FifoPolicy, FairSharePolicy, EasyBackfillPolicy)
+}
+
+
+def make_policy(policy: "str | AdmissionPolicy") -> AdmissionPolicy:
+    """Resolve a policy instance from a name or pass one through."""
+    if isinstance(policy, AdmissionPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy!r}; choose from {sorted(POLICIES)}"
+        ) from None

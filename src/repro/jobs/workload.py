@@ -1,0 +1,162 @@
+"""Workload generators: seeded Poisson arrivals and JSON trace replay.
+
+Both produce the same thing — a sorted list of ``(arrival, JobSpec)``
+pairs ready for :meth:`JobManager.run <repro.jobs.manager.JobManager.run>`
+— and both are strictly deterministic: the Poisson stream is a pure
+function of its seed (via :func:`~repro.util.rng.derive_rng`), and a
+trace replays exactly as written.  Job programs are Task Bench graphs
+(:mod:`repro.taskbench`), the same synthetic applications the rest of
+the reproduction benchmarks with, so per-job makespans are grounded in
+the calibrated runtime model rather than invented constants.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.jobs.job import JobSpec
+from repro.taskbench.bench import build_omp_program
+from repro.taskbench.graph import TaskBenchSpec
+from repro.taskbench.kernel import KernelSpec
+from repro.taskbench.patterns import Pattern
+from repro.util.rng import derive_rng
+
+#: Estimated fixed runtime overhead per job (startup + first event +
+#: shutdown, ~25 ms per the paper's Fig. 7a) baked into estimates.
+_CONSTANT_OVERHEAD = 0.025
+
+
+def _taskbench_job(
+    name: str,
+    tenant: str,
+    nodes: int,
+    width: int,
+    steps: int,
+    task_seconds: float,
+    pattern: Pattern = Pattern.STENCIL_1D,
+    priority: int = 0,
+    est_slack: float = 1.2,
+) -> JobSpec:
+    """A JobSpec wrapping one Task Bench configuration.
+
+    The runtime estimate is the ideal-parallel lower bound (steps ×
+    task duration × ceil(width / workers)) plus the constant runtime
+    overhead, padded by ``est_slack`` — deliberately imperfect, the way
+    real users' estimates are, which is exactly what EASY backfill has
+    to cope with.
+    """
+    kernel = KernelSpec(iterations=max(1, round(task_seconds / 5e-9)))
+    spec = TaskBenchSpec(
+        width=width, steps=steps, pattern=pattern, kernel=kernel
+    )
+    workers = max(nodes - 1, 1)
+    waves = -(-width // workers)  # ceil
+    est = steps * kernel.duration * waves * est_slack + _CONSTANT_OVERHEAD
+    return JobSpec(
+        name=name,
+        program=lambda spec=spec: build_omp_program(spec),
+        nodes=nodes,
+        tenant=tenant,
+        priority=priority,
+        est_runtime=est,
+    )
+
+
+@dataclass(frozen=True)
+class PoissonWorkload:
+    """A seeded stream of Poisson job arrivals with mixed shapes.
+
+    ``small``/``large`` bound the node request of the two job classes;
+    ``large_fraction`` of jobs are large.  ``tenants`` names rotate by
+    draw.  All randomness flows from ``derive_rng(seed, "jobs", ...)``,
+    so two instances with equal parameters generate byte-identical
+    workloads.
+    """
+
+    seed: int
+    jobs: int = 20
+    #: Mean inter-arrival time in simulated seconds.
+    mean_interarrival: float = 0.05
+    small: tuple[int, int] = (2, 3)
+    large: tuple[int, int] = (6, 10)
+    large_fraction: float = 0.3
+    tenants: tuple[str, ...] = ("alice", "bob", "carol")
+    steps: tuple[int, int] = (2, 5)
+    task_seconds: tuple[float, float] = (0.01, 0.05)
+
+    def generate(self) -> list[tuple[float, JobSpec]]:
+        rng = derive_rng(self.seed, "jobs", "poisson")
+        out: list[tuple[float, JobSpec]] = []
+        t = 0.0
+        for i in range(self.jobs):
+            t += float(rng.exponential(self.mean_interarrival))
+            big = bool(rng.random() < self.large_fraction)
+            lo, hi = self.large if big else self.small
+            nodes = int(rng.integers(lo, hi + 1))
+            steps = int(rng.integers(self.steps[0], self.steps[1] + 1))
+            task_s = float(rng.uniform(*self.task_seconds))
+            tenant = self.tenants[i % len(self.tenants)]
+            # Width ~ one task per worker per step keeps per-job load
+            # proportional to the partition it asked for.
+            width = nodes - 1
+            out.append((t, _taskbench_job(
+                name=f"j{i:03d}{'L' if big else 's'}",
+                tenant=tenant,
+                nodes=nodes,
+                width=width,
+                steps=steps,
+                task_seconds=task_s,
+            )))
+        return out
+
+
+def jobs_from_json(text: str) -> list[tuple[float, JobSpec]]:
+    """Replay a workload trace from its JSON spec.
+
+    The spec is a list of objects; per entry::
+
+        {"name": "lulesh-1", "arrival": 0.05, "nodes": 4,
+         "tenant": "alice", "priority": 0,
+         "width": 3, "steps": 4, "task_ms": 20.0,
+         "pattern": "stencil_1d"}
+
+    ``width`` defaults to ``nodes - 1``, ``pattern`` to ``stencil_1d``;
+    ``est_runtime`` may be given explicitly to override the derived
+    estimate.
+    """
+    entries = json.loads(text)
+    if not isinstance(entries, list):
+        raise ValueError("workload trace must be a JSON list")
+    out: list[tuple[float, JobSpec]] = []
+    for i, entry in enumerate(entries):
+        out.append((float(entry.get("arrival", 0.0)),
+                    _job_from_entry(i, entry)))
+    out.sort(key=lambda pair: pair[0])
+    return out
+
+
+def _job_from_entry(index: int, entry: dict[str, Any]) -> JobSpec:
+    try:
+        nodes = int(entry["nodes"])
+    except KeyError:
+        raise ValueError(f"trace entry {index}: 'nodes' is required") from None
+    name = str(entry.get("name", f"trace{index:03d}"))
+    spec = _taskbench_job(
+        name=name,
+        tenant=str(entry.get("tenant", "default")),
+        nodes=nodes,
+        width=int(entry.get("width", max(nodes - 1, 1))),
+        steps=int(entry.get("steps", 3)),
+        task_seconds=float(entry.get("task_ms", 20.0)) / 1e3,
+        pattern=Pattern(str(entry.get("pattern", "stencil_1d"))),
+        priority=int(entry.get("priority", 0)),
+    )
+    if "est_runtime" in entry:
+        spec = JobSpec(
+            name=spec.name, program=spec.program, nodes=spec.nodes,
+            tenant=spec.tenant, priority=spec.priority,
+            est_runtime=float(entry["est_runtime"]),
+        )
+    return spec

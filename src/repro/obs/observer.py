@@ -47,7 +47,7 @@ from typing import Any, Iterator
 from repro.obs.metrics import MetricsRegistry
 
 #: The span categories the exporter and report know about, in lane order.
-CATEGORIES = ("task", "sched", "data", "mpi", "ompc")
+CATEGORIES = ("task", "sched", "data", "mpi", "ompc", "job")
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,11 @@ class UtilizationReport:
     head_inflight_avg: float = 0.0
     head_inflight_max: float = 0.0
     head_threads: int | None = None
+    #: (node, peak resident bytes) from the device-memory gauges.
+    mem_peaks: list[tuple[int, float]] = field(default_factory=list)
+    #: Multi-tenant queue-depth profile (``jobs.queue_depth`` gauge).
+    jobs_queue_avg: float = 0.0
+    jobs_queue_max: float = 0.0
     counters: dict[str, float] = field(default_factory=dict)
 
 
@@ -99,6 +104,11 @@ def utilization_summary(
             report.queues.append(
                 (gauge.node, gauge.time_average(0.0, span), gauge.maximum())
             )
+        elif name.endswith(".mem.resident_bytes"):
+            report.mem_peaks.append((gauge.node, gauge.maximum()))
+        elif name == "jobs.queue_depth":
+            report.jobs_queue_avg = gauge.time_average(0.0, span)
+            report.jobs_queue_max = gauge.maximum()
         elif name == "head.inflight":
             report.head_inflight_avg = gauge.time_average(0.0, span)
             report.head_inflight_max = gauge.maximum()
@@ -152,6 +162,30 @@ def format_utilization(report: UtilizationReport) -> str:
     for node, avg, peak in report.queues:
         lines.append(
             f"event queue node{node}: avg depth {avg:.2f}, max {peak:.0f}"
+        )
+
+    if report.mem_peaks:
+        lines.append("")
+        lines.append(f"{'node':<10}{'peak device memory':>20}")
+        for node, peak in report.mem_peaks:
+            lines.append(f"{f'node{node}':<10}{_fmt_bytes(peak):>20}")
+
+    jobs = {
+        name[len("jobs."):]: value
+        for name, value in report.counters.items()
+        if name.startswith("jobs.")
+    }
+    if jobs:
+        lines.append("")
+        lines.append(
+            "jobs: "
+            f"{jobs.get('submitted', 0):.0f} submitted, "
+            f"{jobs.get('completed', 0):.0f} completed, "
+            f"{jobs.get('failed', 0):.0f} failed, "
+            f"{jobs.get('requeued', 0):.0f} requeued, "
+            f"{jobs.get('backfilled', 0):.0f} backfilled; "
+            f"queue depth avg {report.jobs_queue_avg:.2f}, "
+            f"max {report.jobs_queue_max:.0f}"
         )
 
     hb = {

@@ -66,3 +66,58 @@ class TestLauncher:
         )
         Launcher(progress=seen.append).run(cfg)
         assert len(seen) == 1 and "prog" in seen[0]
+
+
+class _FlakyRuntime:
+    """Runs like MPI on every cell except nodes==4, which explodes."""
+
+    name = "Flaky"
+
+    def __init__(self):
+        from repro.runtimes import MpiSyncRuntime
+
+        self._inner = MpiSyncRuntime()
+
+    def run(self, spec, cluster_spec):
+        if cluster_spec.num_nodes == 4:
+            raise RuntimeError("cell exploded")
+        return self._inner.run(spec, cluster_spec)
+
+
+class TestLauncherFailureTolerance:
+    def _flaky_config(self):
+        return ExperimentConfig(
+            name="flaky",
+            runtimes=("flaky", "mpi"),
+            patterns=("trivial",),
+            nodes=(2, 4, 8),
+            width=4,
+            steps=2,
+            iterations=1000,
+        )
+
+    def test_failed_cell_does_not_abort_sweep(self, monkeypatch):
+        from repro.bench.launcher import RUNTIME_FACTORIES
+
+        monkeypatch.setitem(RUNTIME_FACTORIES, "flaky", _FlakyRuntime)
+        launcher = Launcher()
+        records = launcher.run(self._flaky_config())
+        # 6 cells, 1 explosion: 5 records, every healthy cell present —
+        # including the mpi sweep scheduled *after* the failing runtime.
+        assert len(records) == 5
+        assert len(launcher.failures) == 1
+        failure = launcher.failures[0]
+        assert failure.runtime == "flaky"
+        assert failure.nodes == 4
+        assert "cell exploded" in failure.error
+        assert {r.nodes for r in launcher.select(runtime="Flaky")} == {2, 8}
+        assert {r.nodes for r in launcher.select(runtime="MPI")} == {2, 4, 8}
+
+    def test_failure_reported_to_progress(self, monkeypatch):
+        from repro.bench.launcher import RUNTIME_FACTORIES
+
+        monkeypatch.setitem(RUNTIME_FACTORIES, "flaky", _FlakyRuntime)
+        messages = []
+        launcher = Launcher(progress=messages.append)
+        launcher.run(self._flaky_config())
+        assert any("FAILED" in m and "cell exploded" in m for m in messages)

@@ -1,0 +1,90 @@
+"""Tests for per-node device-memory capacity accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import DeviceMemory, DeviceMemoryError, OMPCConfig, OMPCRuntime
+from repro.omp import OmpProgram
+from repro.omp.task import depend_in, depend_out
+
+
+class TestDeviceMemoryAccounting:
+    def test_unlimited_by_default(self):
+        mem = DeviceMemory(0)
+        mem.alloc(1, nbytes=1e15)
+        assert mem.resident_bytes == 1e15
+        assert mem.peak_bytes == 1e15
+
+    def test_alloc_delete_balance(self):
+        mem = DeviceMemory(0, capacity_bytes=1000)
+        mem.alloc(1, nbytes=400)
+        mem.alloc(2, nbytes=500)
+        assert mem.resident_bytes == 900
+        mem.delete(1)
+        assert mem.resident_bytes == 500
+        mem.alloc(3, nbytes=400)  # fits again
+        assert mem.peak_bytes == 900
+
+    def test_overflow_raises_at_the_crossing_alloc(self):
+        mem = DeviceMemory(3, capacity_bytes=1000)
+        mem.alloc(1, nbytes=800)
+        with pytest.raises(DeviceMemoryError, match="node 3"):
+            mem.alloc(2, nbytes=300)
+        # The failed alloc must not corrupt the books.
+        assert mem.resident_bytes == 800
+        assert 2 not in mem
+
+    def test_realloc_counts_delta_not_sum(self):
+        mem = DeviceMemory(0, capacity_bytes=1000)
+        mem.alloc(1, nbytes=600)
+        mem.alloc(1, nbytes=900)  # re-size in place: delta 300
+        assert mem.resident_bytes == 900
+        assert mem.size_of(1) == 900
+
+    def test_wipe_resets(self):
+        mem = DeviceMemory(0, capacity_bytes=100)
+        mem.alloc(1, nbytes=100)
+        mem.wipe()
+        assert mem.resident_bytes == 0.0
+        mem.alloc(2, nbytes=100)  # full capacity available again
+
+
+def tiny_program(buffer_bytes: int) -> OmpProgram:
+    prog = OmpProgram("mem-test")
+    data = np.zeros(buffer_bytes // 8)
+    buf = prog.buffer(data.nbytes, data=data, name="big")
+    prog.target_enter_data(buf)
+    out = prog.buffer(64, name="out")
+    prog.target(depend=[depend_in(buf), depend_out(out)],
+                cost=0.001, name="t0")
+    prog.target_exit_data(out)
+    return prog
+
+
+class TestRuntimeIntegration:
+    def test_config_knob_enforced(self):
+        config = OMPCConfig(device_memory_bytes=512)
+        runtime = OMPCRuntime(ClusterSpec(num_nodes=3), config)
+        with pytest.raises(DeviceMemoryError, match="out of device memory"):
+            runtime.run(tiny_program(buffer_bytes=4096))
+
+    def test_zero_means_unlimited(self):
+        config = OMPCConfig(device_memory_bytes=0.0)
+        runtime = OMPCRuntime(ClusterSpec(num_nodes=3), config)
+        result = runtime.run(tiny_program(buffer_bytes=4096))
+        assert result.makespan > 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="device_memory_bytes"):
+            OMPCConfig(device_memory_bytes=-1.0)
+
+    def test_resident_gauge_traced(self):
+        config = OMPCConfig(trace=True)
+        runtime = OMPCRuntime(ClusterSpec(num_nodes=3), config)
+        result = runtime.run(tiny_program(buffer_bytes=4096))
+        gauges = result.obs.metrics.gauges
+        mem_gauges = {n: g for n, g in gauges.items()
+                      if n.endswith(".mem.resident_bytes")}
+        assert mem_gauges, "expected node*.mem.resident_bytes gauges"
+        assert any(g.maximum() >= 4096 for g in mem_gauges.values())

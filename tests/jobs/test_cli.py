@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro.bench jobs`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.jobscmd import main as jobs_main
+
+
+class TestJobsCli:
+    def test_quick_single_policy(self, capsys):
+        assert jobs_main(["--quick", "--no-per-job"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=backfill" in out
+        assert "utilization" in out
+
+    def test_all_policies_comparison(self, capsys):
+        assert jobs_main(["--policy", "all", "--quick",
+                          "--no-per-job"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("fifo", "fair", "backfill"):
+            assert f"policy={policy}" in out
+        assert "policy comparison" in out
+
+    def test_trace_replay(self, tmp_path, capsys):
+        trace = tmp_path / "wl.json"
+        trace.write_text(json.dumps([
+            {"name": "a", "arrival": 0.0, "nodes": 3, "task_ms": 5.0},
+            {"name": "b", "arrival": 0.01, "nodes": 2, "task_ms": 5.0},
+        ]))
+        assert jobs_main(["--trace", str(trace), "--policy", "fifo",
+                          "--nodes", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "b" in out
+        assert "completed=2" in out
+
+    def test_undersized_cluster_rejected(self, tmp_path):
+        trace = tmp_path / "wl.json"
+        trace.write_text(json.dumps([{"name": "big", "nodes": 9}]))
+        with pytest.raises(SystemExit, match="--nodes >= 10"):
+            jobs_main(["--trace", str(trace), "--nodes", "6"])
+
+    def test_dispatch_through_bench_main(self, capsys):
+        assert bench_main(["jobs", "--quick", "--no-per-job"]) == 0
+        assert "policy=backfill" in capsys.readouterr().out

@@ -1,0 +1,145 @@
+"""Tests for admission policies: FIFO, fair-share, EASY backfill.
+
+The policies only consult the manager through a narrow surface
+(``pool.free_count``, ``running``, ``tenant_usage``, ``sim.now``,
+``estimated_end_of``), so these tests drive them with a lightweight
+stub manager and hand-built job lists — no simulation required.
+"""
+
+import pytest
+
+from repro.jobs import (
+    EasyBackfillPolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    Job,
+    JobSpec,
+    make_policy,
+)
+
+
+class _StubPool:
+    def __init__(self, free):
+        self.free_count = free
+
+
+class _StubManager:
+    """Just the surface the policies consult."""
+
+    def __init__(self, free=8, now=0.0):
+        self.pool = _StubPool(free)
+        self.running = {}
+        self.tenant_usage = {}
+        self.now = now
+
+    @property
+    def sim(self):
+        return self
+
+    def start(self, job, start_time):
+        job.start_time = start_time
+        job.partition = tuple(range(100, 100 + job.spec.nodes))
+        self.running[job.job_id] = job
+
+    def estimated_end_of(self, job):
+        if job.start_time is None or job.spec.est_runtime <= 0:
+            return float("inf")
+        return job.start_time + job.spec.est_runtime
+
+
+def job(job_id, nodes, submit=0.0, tenant="t", priority=0, est=1.0):
+    spec = JobSpec(
+        name=f"j{job_id}", program=lambda: None, nodes=nodes,
+        tenant=tenant, priority=priority, est_runtime=est,
+    )
+    return Job(job_id, spec, submit_time=submit)
+
+
+class TestFifo:
+    def test_order_and_head_of_line_blocking(self):
+        mgr = _StubManager(free=4)
+        queue = [job(0, 3, submit=0.0), job(1, 6, submit=0.1),
+                 job(2, 2, submit=0.2)]
+        picks = FifoPolicy().select(queue, mgr)
+        # j0 fits (3<=4); j1 doesn't (6>1 remaining) and BLOCKS j2.
+        assert [(j.job_id, bf) for j, bf in picks] == [(0, False)]
+
+    def test_priority_beats_arrival(self):
+        mgr = _StubManager(free=3)
+        queue = [job(0, 3, submit=0.0, priority=0),
+                 job(1, 3, submit=0.5, priority=5)]
+        picks = FifoPolicy().select(queue, mgr)
+        assert [j.job_id for j, _ in picks] == [1]
+
+
+class TestFairShare:
+    def test_light_tenant_jumps_heavy_tenant(self):
+        mgr = _StubManager(free=3)
+        mgr.tenant_usage = {"heavy": 100.0, "light": 1.0}
+        queue = [job(0, 3, submit=0.0, tenant="heavy"),
+                 job(1, 3, submit=0.5, tenant="light")]
+        picks = FairSharePolicy().select(queue, mgr)
+        assert [j.job_id for j, _ in picks] == [1]
+
+    def test_unknown_tenant_counts_as_zero_usage(self):
+        mgr = _StubManager(free=3)
+        mgr.tenant_usage = {"old": 10.0}
+        queue = [job(0, 3, tenant="old"), job(1, 3, submit=1.0, tenant="new")]
+        picks = FairSharePolicy().select(queue, mgr)
+        assert [j.job_id for j, _ in picks] == [1]
+
+
+class TestEasyBackfill:
+    def test_backfills_within_shadow_window(self):
+        mgr = _StubManager(free=4, now=0.0)
+        wide = job(9, 10, submit=-1.0, est=5.0)  # running, releases at t=5
+        mgr.start(wide, 0.0)
+        # Head needs 13 of the 14 that exist -> shadow t=5, extra = 1.
+        queue = [job(0, 13, submit=0.0, est=1.0),  # head: blocked
+                 job(1, 2, submit=0.1, est=2.0),   # fits window (0+2 <= 5)
+                 job(2, 2, submit=0.2, est=9.0)]   # would delay the head
+        picks = EasyBackfillPolicy().select(queue, mgr)
+        assert [(j.job_id, bf) for j, bf in picks] == [(1, True)]
+
+    def test_unestimated_job_only_fills_extra_nodes(self):
+        # Head needs 6; the running job releases 10 at t=5, so the head's
+        # reservation uses 6 of the 4+10 -> extra = 8.  An est=0 job can
+        # never prove it ends before the shadow time, but 2 <= extra.
+        mgr = _StubManager(free=4, now=0.0)
+        wide = job(9, 10, submit=-1.0, est=5.0)
+        mgr.start(wide, 0.0)
+        queue = [job(0, 6, submit=0.0, est=1.0),
+                 job(1, 2, submit=0.1, est=0.0)]
+        picks = EasyBackfillPolicy().select(queue, mgr)
+        assert [(j.job_id, bf) for j, bf in picks] == [(1, True)]
+
+    def test_reduces_to_fcfs_when_everything_fits(self):
+        mgr = _StubManager(free=8)
+        queue = [job(0, 3), job(1, 3, submit=0.1), job(2, 2, submit=0.2)]
+        picks = EasyBackfillPolicy().select(queue, mgr)
+        assert [(j.job_id, bf) for j, bf in picks] == [
+            (0, False), (1, False), (2, False)]
+
+    def test_never_delays_the_reservation(self):
+        # Every queued small job's estimate overruns the shadow time and
+        # the extra pool is empty -> nothing backfills.
+        mgr = _StubManager(free=4, now=0.0)
+        wide = job(9, 10, submit=-1.0, est=5.0)
+        mgr.start(wide, 0.0)
+        queue = [job(0, 14, submit=0.0, est=1.0),  # reserves everything
+                 job(1, 2, submit=0.1, est=9.0)]
+        picks = EasyBackfillPolicy().select(queue, mgr)
+        assert picks == []
+
+
+class TestRegistry:
+    def test_make_policy_by_name(self):
+        assert make_policy("fifo").name == "fifo"
+        assert make_policy("fair").name == "fair"
+        assert make_policy("backfill").name == "backfill"
+
+    def test_make_policy_passthrough_and_unknown(self):
+        policy = FifoPolicy()
+        assert make_policy(policy) is policy
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("lottery")
