@@ -1,0 +1,40 @@
+"""Correctness tooling for OMPC programs (:mod:`repro.analysis`).
+
+Three analyzers share one finding/report format:
+
+* the **dynamic race detector** (:mod:`repro.analysis.race`) threads
+  vector clocks through the simulator and flags pairs of conflicting
+  buffer accesses with no happens-before ordering — the races a missing
+  ``depend`` clause silently creates;
+* the **MPI checker** (:mod:`repro.analysis.mpicheck`) audits
+  point-to-point traffic for unmatched sends/recvs, leaked nonblocking
+  requests, and blocking-wait deadlock cycles;
+* the **static linter** (:mod:`repro.analysis.lint`) inspects an
+  :class:`~repro.omp.api.OmpProgram` before any simulation.
+
+Enable the dynamic analyzers with ``OMPCConfig(analysis=True)`` (the
+report lands on ``result.analysis``), or run everything from the CLI::
+
+    python -m repro.bench check demo-racy
+"""
+
+from repro.analysis.demos import demo_program
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.hooks import NULL_ANALYSIS, Analysis
+from repro.analysis.lint import lint_program
+from repro.analysis.mpicheck import MpiChecker
+from repro.analysis.race import RaceDetector
+from repro.analysis.vc import VectorClock
+
+__all__ = [
+    "Analysis",
+    "AnalysisReport",
+    "Finding",
+    "MpiChecker",
+    "NULL_ANALYSIS",
+    "RaceDetector",
+    "Severity",
+    "VectorClock",
+    "demo_program",
+    "lint_program",
+]

@@ -1,0 +1,31 @@
+"""Tiny demo programs for ``repro.bench check`` and the test suite.
+
+``demo_program(racy=True)`` builds the canonical missing-dependence
+bug: a writer updates buffer ``B`` while a reader's depend clause only
+mentions ``A`` — even though its kernel actually reads ``B`` too.  The
+checker must report exactly that one race (writer ↔ reader on ``B``)
+and nothing else; the ``racy=False`` variant restores the clause and
+must come back clean.
+"""
+
+from __future__ import annotations
+
+from repro.omp.api import OmpProgram
+from repro.omp.task import depend_in, depend_inout
+
+
+def demo_program(racy: bool) -> OmpProgram:
+    prog = OmpProgram(name="demo-racy" if racy else "demo-clean")
+    a = prog.buffer(nbytes=1 << 20, name="A")
+    b = prog.buffer(nbytes=1 << 20, name="B")
+    prog.target_enter_data(a, b)
+    prog.target(depend=[depend_inout(b)], cost=1e-3, name="writer")
+    reads = [depend_in(a)] if racy else [depend_in(a), depend_in(b)]
+    prog.target(
+        depend=reads,
+        cost=1e-3,
+        name="reader",
+        accesses=(depend_in(a), depend_in(b)),
+    )
+    prog.target_exit_data(a, b)
+    return prog

@@ -1,0 +1,261 @@
+"""Dynamic race detection over actual buffer accesses.
+
+Every *task instance* gets one vector-clock context.  A task's clock is
+born as the join of its declared predecessors' finish clocks plus one
+tick of its own component — so two tasks are happens-before ordered
+exactly when the ``depend`` clauses (transitively) order them.  The
+context token rides inside the EXECUTE event notification to the worker
+that runs the kernel, which realizes the declared edge as a physical
+MPI send/recv join; datagram/heartbeat traffic carries no token and so
+never contributes a happens-before edge.
+
+What gets recorded is the task's **actual** access footprint
+(:attr:`~repro.omp.task.Task.accesses_or_deps` — kernel reads/writes,
+host reads, and data movement), not its declared clauses.  A pair of
+accesses to one buffer where at least one writes, from different
+contexts, with neither clock ≤ the other, is a race the clauses failed
+to declare.
+
+Two extra diagnostics share the machinery:
+
+* **stale-host-read** — a classical (host) task reads a buffer whose
+  authoritative copy lives on a worker (the host image was invalidated
+  by a device-side write and never retrieved via ``target exit data``);
+* **use-before-map** — a target task reads a buffer that was never
+  mapped (``target enter data``), in a program that otherwise maps its
+  buffers explicitly.
+
+Recording never advances the simulation clock: hooks are plain calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.vc import VectorClock, ordered
+from repro.omp.task import Task, TaskKind
+
+
+@dataclass
+class _Ctx:
+    """One task instance's happens-before context."""
+
+    ctx_id: int
+    task: Task
+    clock: VectorClock
+    finished: bool = False
+
+
+@dataclass(frozen=True)
+class _Access:
+    """One recorded buffer access (clock snapshot at task begin)."""
+
+    ctx_id: int
+    clock: VectorClock
+    write: bool
+    task_name: str
+    site: str
+
+
+class RaceDetector:
+    """Vector-clock happens-before tracking plus access history."""
+
+    def __init__(self):
+        self._ctx_ids = itertools.count(1)
+        self._ctx: dict[int, _Ctx] = {}
+        self._graph = None
+        #: buffer_id -> recorded accesses (deduped per (ctx, direction)).
+        self._accesses: dict[int, list[_Access]] = {}
+        self._seen: set[tuple[int, int, bool]] = set()
+        self._buffer_names: dict[int, str] = {}
+        self._mapped: set[int] = set()
+        self._explicit_mapping = False
+        self.findings: list[Finding] = []
+        self._reported: set[tuple] = set()
+        self.recorded_accesses = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def program_begin(self, program) -> None:
+        self._graph = program.graph
+        self._explicit_mapping = any(
+            t.kind == TaskKind.TARGET_ENTER_DATA for t in program.graph.tasks()
+        )
+
+    def task_begin(self, task: Task) -> None:
+        """Open the task's context: join predecessor finish clocks, tick.
+
+        Idempotent — a post-failover relaunch of a task whose context is
+        already open (or already finished) leaves it untouched, so
+        recovery re-executions never manufacture fresh orderings.
+        """
+        if task.task_id in self._ctx:
+            return
+        clock = VectorClock()
+        if self._graph is not None and task in self._graph:
+            for pred in self._graph.predecessors(task):
+                pctx = self._ctx.get(pred.task_id)
+                if pctx is not None:
+                    clock.join(pctx.clock)
+        ctx = _Ctx(next(self._ctx_ids), task, clock)
+        clock.tick(ctx.ctx_id)
+        self._ctx[task.task_id] = ctx
+        if task.kind.is_data_movement:
+            # Enter/exit tasks execute no kernel; their footprint is
+            # exactly their clauses (the transfer reads/writes them).
+            for dep in task.accesses_or_deps:
+                self.record(task, dep.buffer, dep.type.writes,
+                            site=task.kind.value)
+
+    def task_end(self, task: Task) -> None:
+        ctx = self._ctx.get(task.task_id)
+        if ctx is not None:
+            ctx.finished = True
+
+    def ctx_token(self, task: Task) -> int | None:
+        """The token carried in the EXECUTE notification (None once the
+        task has completed — recovery re-executions are system work)."""
+        ctx = self._ctx.get(task.task_id)
+        if ctx is None or ctx.finished:
+            return None
+        return ctx.ctx_id
+
+    # -- access recording --------------------------------------------------
+    def record(self, task: Task, buffer, write: bool, site: str) -> None:
+        ctx = self._ctx.get(task.task_id)
+        if ctx is None or ctx.finished:
+            return  # unknown or completed context: system-attributed
+        key = (buffer.buffer_id, ctx.ctx_id, write)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._buffer_names[buffer.buffer_id] = buffer.name
+        self._accesses.setdefault(buffer.buffer_id, []).append(
+            _Access(ctx.ctx_id, ctx.clock, write, task.name, site)
+        )
+        self.recorded_accesses += 1
+
+    def kernel(self, task: Task, node: int, token: int | None) -> None:
+        """A worker ran the task's kernel: record its actual footprint.
+
+        ``token`` is the context id the EXECUTE notification carried;
+        ``None`` (a recovery/speculative re-execution of a completed
+        task, or analysis disabled at dispatch) records nothing.
+        """
+        ctx = self._ctx.get(task.task_id)
+        if token is None or ctx is None or ctx.ctx_id != token:
+            return
+        for dep in task.accesses_or_deps:
+            if dep.type.reads:
+                self.record(task, dep.buffer, False, site=f"kernel@{node}")
+            if dep.type.writes:
+                self.record(task, dep.buffer, True, site=f"kernel@{node}")
+
+    def host_task(self, task: Task, dm) -> None:
+        """A classical task runs on the head against host memory."""
+        ctx = self._ctx.get(task.task_id)
+        if ctx is None or ctx.finished:
+            return  # recovery re-execution of a completed task
+        for dep in task.accesses_or_deps:
+            if dep.type.reads:
+                self.record(task, dep.buffer, False, site="host")
+                holder = dm.host_is_stale(dep.buffer)
+                if holder is not None:
+                    self._report(
+                        ("stale-host-read", task.task_id,
+                         dep.buffer.buffer_id),
+                        Finding(
+                            rule="stale-host-read",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"classical task {task.name} reads "
+                                f"{dep.buffer.name} from host memory, but "
+                                f"the newest value lives on node {holder} "
+                                "— retrieve it first (target exit data)"
+                            ),
+                            analyzer="race",
+                            tasks=(task.name,),
+                            buffer=dep.buffer.name,
+                        ),
+                    )
+            if dep.type.writes:
+                self.record(task, dep.buffer, True, site="host")
+
+    def movement(self, task: Task, buffer) -> None:
+        """Data movement on behalf of ``task`` logically reads the
+        buffer's current value (copies never mutate it)."""
+        self.record(task, buffer, False, site="move")
+
+    # -- mapping diagnostics ----------------------------------------------
+    def mapped(self, buffer) -> None:
+        self._mapped.add(buffer.buffer_id)
+
+    def check_mapped(self, task: Task, buffer) -> None:
+        """A target task is about to read ``buffer``; was it ever mapped?
+
+        Only active in programs that use ``target enter data`` at all —
+        pure dependence-driven programs (Task Bench) legitimately rely
+        on lazy first-use mapping.
+        """
+        if not self._explicit_mapping or buffer.buffer_id in self._mapped:
+            return
+        self._report(
+            ("use-before-map", buffer.buffer_id),
+            Finding(
+                rule="use-before-map",
+                severity=Severity.WARNING,
+                message=(
+                    f"task {task.name} reads {buffer.name}, which was "
+                    "never mapped via target enter data"
+                ),
+                analyzer="race",
+                tasks=(task.name,),
+                buffer=buffer.name,
+            ),
+        )
+
+    # -- race detection ----------------------------------------------------
+    def _report(self, key: tuple, finding: Finding) -> None:
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.findings.append(finding)
+
+    def finalize(self) -> list[Finding]:
+        """Scan the access history for conflicting unordered pairs."""
+        for buffer_id, accesses in sorted(self._accesses.items()):
+            name = self._buffer_names[buffer_id]
+            for i, a in enumerate(accesses):
+                for b in accesses[i + 1:]:
+                    if a.ctx_id == b.ctx_id:
+                        continue
+                    if not (a.write or b.write):
+                        continue
+                    if ordered(a.clock, a.ctx_id, b.clock, b.ctx_id):
+                        continue
+                    first, second = sorted(
+                        (a, b), key=lambda acc: (acc.task_name, acc.site)
+                    )
+                    kinds = (
+                        "write/write" if a.write and b.write
+                        else "read/write"
+                    )
+                    self._report(
+                        ("missing-dep-race",
+                         frozenset((a.ctx_id, b.ctx_id)), buffer_id),
+                        Finding(
+                            rule="missing-dep-race",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"{kinds} race on {name}: "
+                                f"{first.task_name} ({first.site}) and "
+                                f"{second.task_name} ({second.site}) are "
+                                "unordered — a depend clause is missing"
+                            ),
+                            analyzer="race",
+                            tasks=(first.task_name, second.task_name),
+                            buffer=name,
+                        ),
+                    )
+        return self.findings

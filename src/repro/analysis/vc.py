@@ -1,0 +1,69 @@
+"""Sparse vector clocks for happens-before tracking.
+
+Adapted from the dynamic-vector-clock design (clocks grow as new
+processes appear) rather than fixed-width MPI-rank clocks: the race
+detector assigns one component per *task instance*, so the clock
+dictionary only holds components the task has actually heard about —
+O(ancestors), not O(tasks).
+"""
+
+from __future__ import annotations
+
+
+class VectorClock:
+    """A grow-on-demand vector clock keyed by context id."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, components: dict[int, int] | None = None):
+        self._c: dict[int, int] = dict(components) if components else {}
+
+    def get(self, ctx: int) -> int:
+        return self._c.get(ctx, 0)
+
+    def tick(self, ctx: int) -> None:
+        self._c[ctx] = self._c.get(ctx, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Component-wise maximum (receive/merge rule)."""
+        for ctx, count in other._c.items():
+            if count > self._c.get(ctx, 0):
+                self._c[ctx] = count
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """True when self ≤ other in every component (happens-before or
+        equal)."""
+        return all(count <= other._c.get(ctx, 0)
+                   for ctx, count in self._c.items())
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return {k: v for k, v in self._c.items() if v} == {
+            k: v for k, v in other._c.items() if v
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(self._c.items()))
+        return f"<VC {{{inner}}}>"
+
+
+def ordered(a_clock: VectorClock, a_ctx: int, b_clock: VectorClock,
+            b_ctx: int) -> bool:
+    """True when the access stamped ``(a_clock, a_ctx)`` and the access
+    stamped ``(b_clock, b_ctx)`` are happens-before ordered either way.
+
+    An access in context A happened-before one in context B iff B's
+    clock has caught up with A's own component (B transitively joined
+    A's finish clock).
+    """
+    return (
+        b_clock.get(a_ctx) >= a_clock.get(a_ctx)
+        or a_clock.get(b_ctx) >= b_clock.get(b_ctx)
+    )

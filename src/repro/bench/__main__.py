@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench --demo
     python -m repro.bench trace <scenario> --out trace.json
     python -m repro.bench jobs --policy all --quick
+    python -m repro.bench check <scenario>
 
 Each YAML file describes one experiment (see
 :class:`repro.bench.config.ExperimentConfig`); the launcher runs the
@@ -75,6 +76,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.jobscmd import main as jobs_main
 
         return jobs_main(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.bench.checkcmd import main as check_main
+
+        return check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="OMPC Bench: run Task Bench experiment grids on the "

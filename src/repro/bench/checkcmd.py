@@ -1,0 +1,105 @@
+"""The ``check`` subcommand: static + dynamic correctness analysis.
+
+Usage::
+
+    python -m repro.bench check demo-racy
+    python -m repro.bench check stencil_1d --nodes 4 --steps 4
+    python -m repro.bench check demo-clean --json
+
+Runs the :mod:`repro.analysis` suite over one scenario: the static
+linter inspects the program as built; unless ``--static-only`` is
+given, the program then executes on the simulated cluster with
+``OMPCConfig(analysis=True)`` — vector-clock race detection over the
+actual buffer accesses plus the MPI request/message audit.  Findings
+print as a severity-ranked table; the exit status is 1 when any
+ERROR-level finding exists (CI-friendly), else 0.
+
+Scenarios are either the built-in demos (``demo-clean``, ``demo-racy``
+— a missing-dependence race pair) or any Task Bench dependence
+pattern.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.analysis import AnalysisReport, demo_program, lint_program
+from repro.cluster.machine import ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.runtime import OMPCRuntime
+from repro.taskbench import KernelSpec, Pattern, TaskBenchSpec
+from repro.taskbench.bench import build_omp_program
+
+#: Reference fabric bandwidth for CCR-derived payload sizes (§6.1).
+DEFAULT_BANDWIDTH = 100e9 / 8.0
+
+DEMOS = ("demo-clean", "demo-racy")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench check",
+        description="Run the correctness analyzers over one scenario.",
+    )
+    parser.add_argument(
+        "scenario",
+        choices=sorted(DEMOS) + sorted(p.value for p in Pattern),
+        help="built-in demo program or Task Bench pattern to check",
+    )
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="cluster size incl. the head node (default 4)")
+    parser.add_argument("--width", type=int, default=None,
+                        help="tasks per step (default: 2 per worker)")
+    parser.add_argument("--steps", type=int, default=4,
+                        help="timesteps in the task graph (default 4)")
+    parser.add_argument("--iterations", type=int, default=1_000_000,
+                        help="kernel iterations per task (default 1e6)")
+    parser.add_argument("--ccr", type=float, default=1.0,
+                        help="computation-to-communication ratio (default 1)")
+    parser.add_argument("--static-only", action="store_true",
+                        help="lint the program without simulating a run")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON instead of a table")
+    return parser
+
+
+def build_program(args):
+    if args.scenario in DEMOS:
+        return demo_program(racy=args.scenario == "demo-racy")
+    width = args.width if args.width is not None else 2 * (args.nodes - 1)
+    spec = TaskBenchSpec.with_ccr(
+        width,
+        args.steps,
+        Pattern(args.scenario),
+        KernelSpec(args.iterations),
+        args.ccr,
+        DEFAULT_BANDWIDTH,
+    )
+    return build_omp_program(spec)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.nodes < 2:
+        raise SystemExit("check needs a head node plus >= 1 worker")
+    program = build_program(args)
+
+    if args.static_only:
+        report = AnalysisReport(program=program.name)
+        report.extend(lint_program(program))
+    else:
+        runtime = OMPCRuntime(
+            ClusterSpec(num_nodes=args.nodes), OMPCConfig(analysis=True)
+        )
+        result = runtime.run(program)
+        report = result.analysis
+        assert report is not None  # analysis=True guarantees a report
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=1))
+    else:
+        mode = "static lint" if args.static_only else "full analysis"
+        print(f"{program.name}: {mode}, {report.summary()}")
+        print(report.format_table())
+    return 1 if report.has_errors else 0

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.cluster.network import Network, NetworkSpec
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.trace import TraceRecorder
+from repro.analysis.hooks import NULL_ANALYSIS
 from repro.obs.observer import NULL_OBSERVER
 from repro.sim.core import Simulator
 
@@ -61,6 +62,10 @@ class Cluster:
         #: unless a runtime installs a recording one via
         #: :meth:`install_observer`.
         self.obs = NULL_OBSERVER
+        #: Correctness-analysis sink (see :mod:`repro.analysis`): the
+        #: no-op analysis unless a runtime installs a recording one via
+        #: :meth:`install_analysis`.
+        self.analysis = NULL_ANALYSIS
         #: Transient-fault state installed by ``FaultPlan.install`` (see
         #: :mod:`repro.core.faultmodel`); ``None`` means a clean machine.
         self.faults = None
@@ -73,6 +78,15 @@ class Cluster:
         """
         self.obs = obs
         self.network.obs = obs
+
+    def install_analysis(self, analysis) -> None:
+        """Attach a :class:`~repro.analysis.hooks.Analysis`.
+
+        Like :meth:`install_observer`, must run before MPI worlds or
+        event systems are built — they capture ``cluster.analysis`` at
+        construction time.
+        """
+        self.analysis = analysis
 
     @property
     def num_nodes(self) -> int:

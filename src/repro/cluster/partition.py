@@ -29,6 +29,7 @@ from __future__ import annotations
 from repro.cluster.machine import Cluster, ClusterSpec
 from repro.cluster.node import Node
 from repro.cluster.trace import TraceRecorder
+from repro.analysis.hooks import NULL_ANALYSIS
 from repro.obs.observer import NULL_OBSERVER
 
 
@@ -212,6 +213,7 @@ class ClusterView:
         #: not bleed into other tenants' runs.
         self.trace = TraceRecorder(self.sim)
         self.obs = NULL_OBSERVER
+        self.analysis = NULL_ANALYSIS
 
     # -- Cluster interface -------------------------------------------------
     @property
@@ -241,6 +243,10 @@ class ClusterView:
         """
         self.obs = obs
         self.network.obs = obs
+
+    def install_analysis(self, analysis) -> None:
+        """Attach an analysis to this view only (not the physical machine)."""
+        self.analysis = analysis
 
     def physical_id(self, node_id: int) -> int:
         """The physical node behind a virtual id."""

@@ -67,6 +67,13 @@ class OMPCConfig:
     #: the clock but never advances it, so tracing is zero-cost in
     #: simulated time; off by default to keep untraced runs lean.
     trace: bool = False
+    #: Enable the correctness subsystem (repro.analysis): static lint of
+    #: the program, vector-clock race detection over actual buffer
+    #: accesses, and MPI request/message auditing, reported as
+    #: ``OMPCRunResult.analysis``.  Hooks are plain calls that never
+    #: yield, so analysis has zero simulated-time cost and leaves
+    #: makespan/network counters bit-identical; off by default.
+    analysis: bool = False
     head_threads: int = 48
     event_handlers: int = 4
     num_comms: int = 8

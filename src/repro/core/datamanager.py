@@ -64,13 +64,16 @@ class DataManager:
     planning pure makes the coherency logic directly unit-testable.
     """
 
-    def __init__(self, home: int = HOST):
+    def __init__(self, home: int = HOST, analysis=None):
         self._state: dict[int, _BufferState] = {}
         #: The node hosting the program's "host" buffer image.  Node 0
         #: until a head failover rehomes the directory at the elected
         #: standby (host payloads travel by reference, so the new head
         #: serves the same objects).
         self.home = home
+        #: Correctness-analysis sink (see :mod:`repro.analysis`): fed
+        #: mapping events and read-before-map checks; ``None`` disables.
+        self.analysis = analysis
 
     def rehome(self, node: int) -> None:
         """Move the host designation to ``node`` (head failover)."""
@@ -97,6 +100,21 @@ class DataManager:
     def is_resident(self, buffer: Buffer, node: int) -> bool:
         return node in self._st(buffer).locations
 
+    def host_is_stale(self, buffer: Buffer) -> int | None:
+        """If the host image of ``buffer`` is invalid, the node holding
+        the authoritative copy; ``None`` when the host copy is current.
+
+        A device-side write invalidates the host replica
+        (:meth:`commit_task_done`); until a ``target exit data``
+        retrieves the value, a classical task reading the buffer on the
+        host sees stale bytes — the race detector's stale-host-read
+        diagnostic.
+        """
+        st = self._st(buffer)
+        if self.home in st.locations:
+            return None
+        return st.latest
+
     # -- enter data ----------------------------------------------------------
     def plan_enter_data(self, buffer: Buffer, first_user_node: int) -> list[Move]:
         """Send the buffer to the first node that will use it (§4.3)."""
@@ -109,6 +127,8 @@ class DataManager:
         st = self._st(buffer)
         st.locations.add(node)
         st.latest = node
+        if self.analysis is not None:
+            self.analysis.on_mapped(buffer)
 
     # -- target regions ----------------------------------------------------
     def plan_for_task(self, task: Task, node: int) -> tuple[list[Move], list[Buffer]]:
@@ -125,6 +145,10 @@ class DataManager:
         planned: set[int] = set()
         for dep in task.deps:
             st = self._st(dep.buffer)
+            if self.analysis is not None and task.dep_type_for(
+                dep.buffer
+            ).reads:
+                self.analysis.check_mapped(task, dep.buffer)
             if node in st.locations or dep.buffer.buffer_id in planned:
                 continue
             planned.add(dep.buffer.buffer_id)
@@ -142,6 +166,8 @@ class DataManager:
         meaningful bytes until the writer's ``commit_task_done``.
         """
         self._st(buffer).locations.add(node)
+        if self.analysis is not None:
+            self.analysis.on_mapped(buffer)
 
     def commit_move(self, move: Move) -> None:
         st = self._st(move.buffer)
@@ -182,6 +208,8 @@ class DataManager:
                     stale.append((dep.buffer, holder))
                 st.locations = {node}
                 st.latest = node
+                if self.analysis is not None:
+                    self.analysis.on_mapped(dep.buffer)
             else:
                 # Read-only: keep all copies for future reuse.
                 st.locations.add(node)

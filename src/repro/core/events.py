@@ -29,6 +29,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.analysis.hooks import NULL_ANALYSIS
 from repro.cluster.machine import Cluster
 from repro.core.config import OMPCConfig
 from repro.core.memory import DeviceMemory
@@ -90,6 +91,9 @@ class EventSystem:
         #: Observability sink, captured at construction (install via
         #: ``Cluster.install_observer`` before building the system).
         self.obs = cluster.obs
+        #: Correctness-analysis sink, captured likewise (install via
+        #: ``Cluster.install_analysis`` before building the system).
+        self.analysis = getattr(cluster, "analysis", NULL_ANALYSIS)
 
         #: Control communicator carrying notifications only.
         self.control: Communicator = mpi.new_communicator()
@@ -506,6 +510,8 @@ class EventSystem:
             self.trace.count("ompc.page_faults", fault_pages)
             completion = ("done", tuple(written))
         self.obs.end(kernel_span)
+        if self.analysis.enabled and not revoked():
+            self.analysis.on_kernel(task, node_id, note.info.get("actx"))
         if not revoked():
             self._exec_done[node_id].add(task.task_id)
         yield from rank.send(note.origin, completion, cfg.completion_bytes,
@@ -678,6 +684,12 @@ class EventSystem:
         from a deposed head.
         """
         info: dict[str, Any] = {"task_id": task.task_id, "attempt": attempt}
+        if self.analysis.enabled:
+            # The happens-before context token rides the notification:
+            # the worker-side kernel recording joins the declared task
+            # edge to the physical dispatch that realized it.  Recovery
+            # re-executions of finished tasks carry None (system work).
+            info["actx"] = self.analysis.ctx_token(task)
         if dedup:
             info["dedup"] = True
         if fo_epoch:

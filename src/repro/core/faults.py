@@ -63,6 +63,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.hooks import Analysis
 from repro.cluster.machine import Cluster, ClusterSpec
 from repro.core.config import OMPCConfig
 from repro.core.datamanager import HOST, DataManager, Move
@@ -204,8 +206,8 @@ class HeartbeatRing:
         self.suspect_windows = suspect_windows
         self.ping_timeout = ping_timeout
         self.head = 0
-        self.comm = mpi.new_communicator(reliable=False)
-        self.ping_comm = mpi.new_communicator()
+        self.comm = mpi.new_communicator(reliable=False, service=True)
+        self.ping_comm = mpi.new_communicator(service=True)
         self.on_detect: Callable[[int, int], None] | None = None
         #: Called instead of :attr:`on_detect` when the declared node is
         #: the *current head* — the failover trigger.
@@ -288,6 +290,10 @@ class HeartbeatRing:
             deadline = self.sim.timeout(self.timeout)
             yield AnyOf(self.sim, [req.event, deadline])
             if self._stopped or self.events.node_failed(node):
+                # Withdraw the pending receive on the way out: a monitor
+                # that stops watching must not leave a matching slot
+                # behind to swallow a late beat.
+                req.cancel()
                 return
             if req.test():
                 misses = 0
@@ -569,6 +575,9 @@ class FTRunResult:
     #: The run's :class:`~repro.obs.observer.Observer` when the config
     #: enabled tracing (``OMPCConfig.trace``); ``None`` otherwise.
     obs: Observer | None = None
+    #: Correctness findings when the config enabled analysis
+    #: (``OMPCConfig.analysis``); ``None`` otherwise.
+    analysis: AnalysisReport | None = None
 
 
 class FaultTolerantRuntime:
@@ -655,6 +664,11 @@ class FaultTolerantRuntime:
             # Must precede MpiWorld/EventSystem construction — both
             # capture ``cluster.obs`` when built.
             cluster.install_observer(Observer(sim))
+        if self.config.analysis and not cluster.analysis.enabled:
+            # Likewise captured at construction time by MpiWorld and the
+            # event system.
+            cluster.install_analysis(Analysis())
+        analysis = cluster.analysis
         active = fault_plan.install(cluster) if fault_plan is not None else None
         transport = self.transport
         ambient = active if active is not None else cluster.faults
@@ -670,7 +684,8 @@ class FaultTolerantRuntime:
             suspect_windows=cfg.heartbeat_suspect_windows,
             ping_timeout=cfg.heartbeat_ping_timeout,
         )
-        dm = DataManager()
+        dm = DataManager(analysis=analysis if analysis.enabled else None)
+        analysis.program_begin(program)
         graph = program.graph
 
         # -- head-state replication (head failover) ----------------------
@@ -991,6 +1006,7 @@ class FaultTolerantRuntime:
                     continue  # retry on a survivor
 
         def run_classical(task: Task, recovery: bool = False):
+            analysis.on_host_task(task, dm)
             head = cluster.node(home)
             req = head.cpu.request()
             try:
@@ -1243,6 +1259,7 @@ class FaultTolerantRuntime:
                 if not slots.cancel(req):
                     slots.release()
                 raise
+            analysis.task_begin(task)
             try:
                 yield from execute_once(task)
             finally:
@@ -1251,6 +1268,7 @@ class FaultTolerantRuntime:
                 # ENTER/EXIT completions carry no writes, so they are
                 # logged here rather than through record_writes.
                 log_append("task_done", task_id=task.task_id, node=home)
+            analysis.task_end(task)
             complete(task)
 
         # -- checkpointing ------------------------------------------------
@@ -1326,7 +1344,7 @@ class FaultTolerantRuntime:
             Returns the number of in-doubt dispatches re-issued.
             """
             nonlocal dm
-            dm2 = DataManager()
+            dm2 = DataManager(analysis=dm.analysis)
             ckpt2: dict[int, tuple[int, Any]] = {}
             done2: set[int] = set()
             dispatched: dict[int, int] = {}
@@ -1625,6 +1643,11 @@ class FaultTolerantRuntime:
                 for counter_name, value in cluster.trace.counters.items():
                     cluster.obs.count(counter_name, value)
                 result.obs = cluster.obs
+            if analysis.enabled:
+                result.analysis = analysis.finalize(
+                    [mpi], failed=events._failed | set(dead),
+                    obs=cluster.obs,
+                )
             return result
 
         return main_proc, finish

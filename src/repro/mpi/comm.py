@@ -39,6 +39,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any
 
+from repro.analysis.hooks import NULL_ANALYSIS
 from repro.cluster.machine import Cluster
 from repro.mpi.datatypes import Message
 from repro.mpi.errors import MpiError
@@ -106,6 +107,9 @@ class MpiWorld:
         #: Observability sink, captured from the cluster at construction
         #: (install an observer via ``Cluster.install_observer`` first).
         self.obs = cluster.obs
+        #: Correctness-analysis sink, captured likewise (install via
+        #: ``Cluster.install_analysis`` before constructing the world).
+        self.analysis = getattr(cluster, "analysis", NULL_ANALYSIS)
         #: Transport-level counters (drops seen, retransmissions, acks,
         #: duplicate deliveries suppressed).
         self.stats: dict[str, int] = {
@@ -121,16 +125,25 @@ class MpiWorld:
     def size(self) -> int:
         return self.cluster.num_nodes
 
-    def new_communicator(self, reliable: bool | None = None) -> "Communicator":
+    def new_communicator(
+        self, reliable: bool | None = None, service: bool = False,
+    ) -> "Communicator":
         """Create a communicator.
 
         ``reliable=False`` opts this communicator out of the world's
         reliable transport even when one is configured — datagram
         semantics for traffic whose loss is handled at the protocol
         level (heartbeats).  ``None`` inherits the world default.
+
+        ``service=True`` marks infrastructure traffic (heartbeats,
+        pings, head-log replication): the MPI checker skips it entirely
+        — persistent service loops legitimately hold pending receives
+        at shutdown, and datagrams are lost by design, so auditing them
+        would only produce noise.
         """
         transport = self.transport if reliable is not False else None
-        comm = Communicator(self, self._next_comm_id, transport)
+        comm = Communicator(self, self._next_comm_id, transport, service)
+        self.analysis.mpi.register_comm(comm.comm_id, service)
         self._next_comm_id += 1
         return comm
 
@@ -161,10 +174,12 @@ class Communicator:
         mpi: MpiWorld,
         comm_id: int,
         transport: TransportConfig | None = None,
+        service: bool = False,
     ):
         self.mpi = mpi
         self.comm_id = comm_id
         self.transport = transport
+        self.service = service
         self._send_seq: dict[int, int] = defaultdict(int)
         #: (src, seq) pairs already delivered (reliable-mode dedup).
         self._delivered: set[tuple[int, int]] = set()
@@ -183,7 +198,8 @@ class Communicator:
     def dup(self) -> "Communicator":
         """Duplicate: a new communicator over the same group."""
         return self.mpi.new_communicator(
-            reliable=self.transport is not None if self.mpi.transport else None
+            reliable=self.transport is not None if self.mpi.transport else None,
+            service=self.service,
         )
 
     def _check_rank(self, rank_id: int) -> None:
@@ -204,7 +220,12 @@ class Communicator:
         else:
             gen = self._deliver(msg)
         proc = self.mpi.sim.process(gen, name=f"isend:{src}->{dst}:t{tag}")
-        return Request(proc, "send")
+        request = Request(proc, "send")
+        if self.mpi.analysis.enabled and not self.service:
+            self.mpi.analysis.mpi.on_isend(
+                request, self.comm_id, src, dst, tag
+            )
+        return request
 
     def _deliver(self, msg: Message):
         sim = self.mpi.sim
@@ -339,7 +360,12 @@ class Communicator:
 
         store = self.mpi._queue(dst, self.comm_id)
         get = store.get(match)
-        return Request(get, "recv", canceller=lambda: store.cancel(get))
+        request = Request(get, "recv", canceller=lambda: store.cancel(get))
+        if self.mpi.analysis.enabled and not self.service:
+            self.mpi.analysis.mpi.on_irecv(
+                request, self.comm_id, dst, src, tag
+            )
+        return request
 
 
 class Rank:

@@ -18,6 +18,11 @@ class Request:
     cannot be consumed by a request nobody is watching anymore.
     """
 
+    #: Optional lifecycle observer (the MPI checker, when analysis is
+    #: on): notified on wait/completion/test/cancel.  Class-level None
+    #: keeps the untracked fast path attribute-cheap.
+    observer = None
+
     def __init__(
         self,
         event: Event,
@@ -35,6 +40,8 @@ class Request:
 
     def test(self) -> bool:
         """True once the operation has completed."""
+        if self.observer is not None:
+            self.observer.on_test(self)
         return self._event.processed
 
     def cancel(self) -> bool:
@@ -49,11 +56,17 @@ class Request:
         if self.cancelled or self._event.triggered or self._canceller is None:
             return False
         self.cancelled = self._canceller()
+        if self.cancelled and self.observer is not None:
+            self.observer.on_cancel(self)
         return self.cancelled
 
     def wait(self):
         """Generator: wait for completion and return the result."""
+        if self.observer is not None:
+            self.observer.on_wait(self)
         value = yield self._event
+        if self.observer is not None:
+            self.observer.on_complete(self)
         return value
 
     @staticmethod
@@ -61,7 +74,7 @@ class Request:
         """Generator: wait for every request (like ``MPI_Waitall``)."""
         results = []
         for req in requests:
-            value = yield req.event
+            value = yield from req.wait()
             results.append(value)
         return results
 

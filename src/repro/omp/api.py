@@ -64,13 +64,16 @@ class OmpProgram:
         depend: Iterable[Dep] = (),
         cost: float = 0.0,
         name: str = "",
+        accesses: Iterable[Dep] = (),
         **meta: Any,
     ) -> Task:
         """``#pragma omp target nowait depend(...)`` — offloadable task.
 
         ``cost`` is the nominal compute time on a speed-1.0 node; ``fn``
         (optional) receives the dependence buffers' ``data`` payloads in
-        clause order when the task runs.
+        clause order when the task runs.  ``accesses`` optionally states
+        the region's *actual* footprint when it differs from ``depend``
+        (feeds the race detector; scheduling still follows ``depend``).
         """
         return self._add(
             Task(
@@ -80,6 +83,7 @@ class OmpProgram:
                 cost=cost,
                 fn=fn,
                 name=name,
+                accesses=tuple(accesses),
                 meta=dict(meta),
             )
         )
@@ -90,6 +94,7 @@ class OmpProgram:
         depend: Iterable[Dep] = (),
         cost: float = 0.0,
         name: str = "",
+        accesses: Iterable[Dep] = (),
         **meta: Any,
     ) -> Task:
         """``#pragma omp task depend(...)`` — classical host task.
@@ -105,6 +110,7 @@ class OmpProgram:
                 cost=cost,
                 fn=fn,
                 name=name,
+                accesses=tuple(accesses),
                 meta=dict(meta),
             )
         )
@@ -166,6 +172,27 @@ class OmpProgram:
                     raise ValueError(
                         f"task {task.name} touches undeclared buffer {buf.name}; "
                         "declare buffers via OmpProgram.buffer()"
+                    )
+            for dep in task.accesses:
+                if dep.buffer.buffer_id not in known:
+                    raise ValueError(
+                        f"task {task.name} accesses undeclared buffer "
+                        f"{dep.buffer.name}; declare buffers via "
+                        "OmpProgram.buffer()"
+                    )
+            types: dict[int, set[DepType]] = {}
+            for dep in task.deps:
+                types.setdefault(dep.buffer.buffer_id, set()).add(dep.type)
+            for buffer_id, seen in types.items():
+                if DepType.IN in seen and DepType.OUT in seen:
+                    buf = next(
+                        d.buffer for d in task.deps
+                        if d.buffer.buffer_id == buffer_id
+                    )
+                    raise ValueError(
+                        f"task {task.name} lists buffer {buf.name} as both "
+                        "depend(in) and depend(out); use depend(inout) for "
+                        "a read-modify-write dependence"
                     )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

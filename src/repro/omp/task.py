@@ -118,6 +118,13 @@ class Task:
     #: For data-movement tasks: the buffers being mapped in/out.
     buffers: tuple[Buffer, ...] = ()
     meta: dict = field(default_factory=dict)
+    #: The task's *actual* access footprint, when it differs from the
+    #: declared ``deps`` — what the outlined region really touches, as a
+    #: compiler-instrumented build would observe.  Empty means the
+    #: declared clauses are exact.  The race detector records accesses
+    #: (not clauses), which is what makes a missing ``depend`` item
+    #: detectable.
+    accesses: tuple[Dep, ...] = ()
 
     def __post_init__(self) -> None:
         if self.cost < 0:
@@ -147,6 +154,12 @@ class Task:
         for b in self.buffers:
             seen.setdefault(b.buffer_id, b)
         return tuple(seen.values())
+
+    @property
+    def accesses_or_deps(self) -> tuple[Dep, ...]:
+        """The actual footprint: explicit ``accesses`` if given, else the
+        declared clauses (which are then exact by definition)."""
+        return self.accesses if self.accesses else self.deps
 
     def dep_type_for(self, buffer: Buffer) -> DepType | None:
         """The strongest dependence type this task declares on ``buffer``."""

@@ -1,0 +1,50 @@
+"""Tests for ``python -m repro.bench check``."""
+
+import json
+
+import pytest
+
+from repro.bench.checkcmd import main as check_main
+from repro.bench.__main__ import main as bench_main
+
+
+class TestCheckCommand:
+    def test_racy_demo_fails_with_the_race(self, capsys):
+        assert check_main(["demo-racy"]) == 1
+        out = capsys.readouterr().out
+        assert "missing-dep-race" in out
+        assert "reader ↔ writer @ B" in out
+        assert "1 error(s)" in out
+
+    def test_clean_demo_passes(self, capsys):
+        assert check_main(["demo-clean"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "0 error(s)" in out
+
+    def test_json_output(self, capsys):
+        assert check_main(["demo-racy", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "demo-racy"
+        assert len(payload["findings"]) == 1
+        assert payload["findings"][0]["rule"] == "missing-dep-race"
+        assert payload["findings"][0]["severity"] == "ERROR"
+
+    def test_static_only_lints_a_pattern(self, capsys):
+        rc = check_main(["stencil_1d", "--static-only", "--steps", "2"])
+        assert rc == 0
+        assert "static lint" in capsys.readouterr().out
+
+    def test_full_analysis_on_a_pattern(self, capsys):
+        rc = check_main(["trivial", "--nodes", "3", "--steps", "2",
+                         "--iterations", "1000"])
+        assert rc == 0
+        assert "full analysis" in capsys.readouterr().out
+
+    def test_rejects_single_node_cluster(self):
+        with pytest.raises(SystemExit):
+            check_main(["demo-clean", "--nodes", "1"])
+
+    def test_dispatch_through_bench_main(self, capsys):
+        assert bench_main(["check", "demo-clean"]) == 0
+        assert "demo-clean" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Analysis threaded through the full simulator (acceptance tests)."""
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis import demo_program
+from repro.analysis.findings import Severity
+from repro.cluster import ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.faults import FaultTolerantRuntime, NodeFailure
+from repro.core.runtime import OMPCRuntime
+from repro.omp import OmpProgram
+from repro.omp.task import depend_in, depend_out
+
+FAST = OMPCConfig(
+    startup_time=0.0, shutdown_time=0.0, first_event_interval=0.0,
+    event_origin_overhead=0.0, event_handler_overhead=0.0,
+    task_creation_overhead=0.0, schedule_unit_cost=0.0,
+)
+
+
+def run(program, **config_overrides):
+    config = dataclasses.replace(FAST, **config_overrides)
+    return OMPCRuntime(ClusterSpec(num_nodes=4), config).run(program)
+
+
+class TestAcceptance:
+    def test_racy_demo_reports_exactly_the_missing_clause(self):
+        result = run(demo_program(racy=True), analysis=True)
+        report = result.analysis
+        assert report is not None
+        races = report.by_rule("missing-dep-race")
+        assert len(races) == 1
+        assert len(report) == 1  # zero false positives
+        (race,) = races
+        assert race.severity == Severity.ERROR
+        assert race.tasks == ("reader", "writer")
+        assert race.buffer == "B"
+        assert report.has_errors
+
+    def test_clean_demo_is_silent(self):
+        result = run(demo_program(racy=False), analysis=True)
+        assert result.analysis is not None
+        assert len(result.analysis) == 0
+        assert not result.analysis.has_errors
+
+    def test_analysis_never_perturbs_the_simulation(self):
+        # Bit-identical timing and traffic with the analyzers on/off.
+        on = run(demo_program(racy=True), analysis=True)
+        off = run(demo_program(racy=True), analysis=False)
+        assert on.makespan == off.makespan
+        assert on.network_bytes == off.network_bytes
+        assert on.network_messages == off.network_messages
+        assert off.analysis is None
+
+    def test_obs_counters_emitted(self):
+        result = run(demo_program(racy=True), analysis=True, trace=True)
+        counters = result.obs.metrics
+        assert counters.counter("analysis.findings").value == 1.0
+        assert counters.counter("analysis.findings.error").value == 1.0
+        assert counters.counter("analysis.findings.race").value == 1.0
+        assert counters.counter("analysis.race.accesses").value > 0
+        assert counters.counter("analysis.mpi.tracked_requests").value > 0
+
+
+def shots_program(num_shots=4, cost=0.05):
+    prog = OmpProgram("shots")
+    model = np.arange(16.0)
+    model_buf = prog.buffer(model.nbytes, data=model, name="model")
+    prog.target_enter_data(model_buf)
+    out_bufs = []
+    for i in range(num_shots):
+        out = np.zeros(16)
+        buf = prog.buffer(out.nbytes, data=out, name=f"out{i}")
+        out_bufs.append(buf)
+        prog.target(
+            fn=lambda m, o: np.copyto(o, m * 2.0),
+            depend=[depend_in(model_buf), depend_out(buf)],
+            cost=cost,
+            name=f"shot{i}",
+        )
+    prog.target_exit_data(*out_bufs)
+    return prog
+
+
+class TestFaultTolerantRuntimeAnalysis:
+    def test_clean_ft_run_has_no_findings(self):
+        # Heartbeats, pings, and datagram traffic must all be excluded
+        # (service communicators); a clean run reports nothing.
+        config = dataclasses.replace(FAST, analysis=True)
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=5), config)
+        result = rt.run(shots_program())
+        assert result.analysis is not None
+        assert len(result.analysis) == 0
+
+    def test_recovery_reexecution_is_not_a_race(self):
+        # A worker dies mid-run; tasks re-execute on survivors.  The
+        # re-executions are system work (stale ctx tokens) and must not
+        # manufacture race reports, and traffic stranded by the crash
+        # must not show up as unmatched messages.
+        config = dataclasses.replace(FAST, analysis=True)
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=5), config)
+        result = rt.run(
+            shots_program(cost=0.1),
+            failures=[NodeFailure(time=0.05, node=1)],
+        )
+        assert result.failures == [1]
+        assert result.analysis is not None
+        assert result.analysis.by_rule("missing-dep-race") == []
+        assert not result.analysis.has_errors

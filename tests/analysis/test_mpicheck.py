@@ -1,0 +1,126 @@
+"""Unit tests for the MPI request/message checker."""
+
+from types import SimpleNamespace
+
+from repro.analysis import MpiChecker
+from repro.analysis.findings import Severity
+
+
+def fake_request(triggered=False):
+    """A stand-in with the two attributes the checker touches."""
+    return SimpleNamespace(
+        event=SimpleNamespace(triggered=triggered), observer=None
+    )
+
+
+def fake_world(queues):
+    """``queues`` maps (rank, comm_id) -> list of messages."""
+    return SimpleNamespace(_queues={
+        key: SimpleNamespace(items=list(msgs))
+        for key, msgs in queues.items()
+    })
+
+
+def message(src, dst, tag):
+    return SimpleNamespace(src=src, dst=dst, tag=tag)
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestRequestAudit:
+    def test_waited_request_is_clean(self):
+        checker = MpiChecker()
+        req = fake_request(triggered=True)
+        checker.on_isend(req, comm_id=1, src=0, dst=1, tag=7)
+        checker.on_wait(req)
+        assert checker.finalize() == []
+
+    def test_leaked_request(self):
+        checker = MpiChecker()
+        req = fake_request(triggered=True)
+        checker.on_isend(req, comm_id=1, src=0, dst=1, tag=7)
+        (finding,) = checker.finalize()
+        assert finding.rule == "leaked-request"
+        assert finding.severity == Severity.WARNING
+        assert "rank 0" in finding.message
+
+    def test_tested_request_is_consumed(self):
+        checker = MpiChecker()
+        req = fake_request(triggered=True)
+        checker.on_irecv(req, comm_id=1, dst=1, src=0, tag=7)
+        checker.on_test(req)
+        assert checker.finalize() == []
+
+    def test_unmatched_recv(self):
+        checker = MpiChecker()
+        req = fake_request(triggered=False)
+        checker.on_irecv(req, comm_id=1, dst=1, src=-1, tag=7)
+        (finding,) = checker.finalize()
+        assert finding.rule == "unmatched-recv"
+        assert "ANY_SOURCE" in finding.message
+
+    def test_cancel_deregisters_entirely(self):
+        # The satellite fix: a cancelled receive is neither a leak nor
+        # an unmatched receive — it must vanish from the books.
+        checker = MpiChecker()
+        req = fake_request(triggered=False)
+        checker.on_irecv(req, comm_id=1, dst=1, src=0, tag=7)
+        checker.on_cancel(req)
+        assert checker.finalize() == []
+        assert checker._by_request == {}
+        assert checker._records == []
+
+    def test_failed_nodes_are_excluded(self):
+        checker = MpiChecker()
+        req = fake_request(triggered=True)
+        checker.on_isend(req, comm_id=1, src=0, dst=3, tag=7)
+        assert checker.finalize(failed={3}) == []
+
+
+class TestUnmatchedSends:
+    def test_queued_message_reported_with_count(self):
+        checker = MpiChecker()
+        world = fake_world({
+            (1, 2): [message(0, 1, 5), message(0, 1, 5)],
+        })
+        (finding,) = checker.finalize(worlds=[world])
+        assert finding.rule == "unmatched-send"
+        assert "(2×)" in finding.message
+
+    def test_service_comm_is_exempt(self):
+        checker = MpiChecker()
+        checker.register_comm(2, service=True)
+        assert checker.is_service(2)
+        world = fake_world({(1, 2): [message(0, 1, 5)]})
+        assert checker.finalize(worlds=[world]) == []
+
+    def test_failed_destination_is_exempt(self):
+        checker = MpiChecker()
+        world = fake_world({(1, 2): [message(0, 1, 5)]})
+        assert checker.finalize(worlds=[world], failed={1}) == []
+
+
+class TestDeadlock:
+    def post_blocked_recv(self, checker, owner, peer):
+        req = fake_request(triggered=False)
+        checker.on_irecv(req, comm_id=1, dst=owner, src=peer, tag=0)
+        checker.on_wait(req)
+
+    def test_wait_cycle_is_an_error(self):
+        checker = MpiChecker()
+        self.post_blocked_recv(checker, owner=1, peer=2)
+        self.post_blocked_recv(checker, owner=2, peer=1)
+        cycles = [f for f in checker.finalize()
+                  if f.rule == "deadlock-cycle"]
+        assert len(cycles) == 1
+        assert cycles[0].severity == Severity.ERROR
+
+    def test_chain_without_cycle_is_not_deadlock(self):
+        checker = MpiChecker()
+        self.post_blocked_recv(checker, owner=1, peer=2)
+        self.post_blocked_recv(checker, owner=2, peer=3)
+        assert rules(checker.finalize()) == [
+            "unmatched-recv", "unmatched-recv",
+        ]

@@ -1,0 +1,119 @@
+"""Unit tests driving the RaceDetector directly (no simulator)."""
+
+from types import SimpleNamespace
+
+from repro.analysis import RaceDetector, demo_program
+from repro.omp import OmpProgram
+from repro.omp.task import depend_in, depend_inout
+
+
+def replay(program, detector=None):
+    """Execute the program's graph serially in program order, feeding
+    the detector exactly like the simulator would."""
+    det = detector or RaceDetector()
+    det.program_begin(program)
+    for task in sorted(program.graph.tasks(), key=lambda t: t.task_id):
+        det.task_begin(task)
+        det.kernel(task, 1, det.ctx_token(task))
+        det.task_end(task)
+    return det, det.finalize()
+
+
+class TestHappensBefore:
+    def test_clean_demo_has_no_findings(self):
+        _, findings = replay(demo_program(racy=False))
+        assert findings == []
+
+    def test_racy_demo_reports_exactly_the_missing_dep(self):
+        _, findings = replay(demo_program(racy=True))
+        races = [f for f in findings if f.rule == "missing-dep-race"]
+        assert len(races) == 1
+        assert len(findings) == 1  # and nothing else
+        (race,) = races
+        assert race.tasks == ("reader", "writer")
+        assert race.buffer == "B"
+        assert "read/write" in race.message
+
+    def test_transitive_order_suppresses_race(self):
+        # w -> mid -> r orders w and r even without a direct clause.
+        prog = OmpProgram(name="chain")
+        b = prog.buffer(8, name="b")
+        prog.target(depend=[depend_inout(b)], cost=1e-3, name="w")
+        prog.target(depend=[depend_inout(b)], cost=1e-3, name="mid")
+        prog.target(depend=[depend_in(b)], cost=1e-3, name="r")
+        _, findings = replay(prog)
+        assert findings == []
+
+
+class TestContextLifecycle:
+    def make(self):
+        prog = demo_program(racy=False)
+        det = RaceDetector()
+        det.program_begin(prog)
+        tasks = sorted(prog.graph.tasks(), key=lambda t: t.task_id)
+        return det, tasks
+
+    def test_token_is_live_context_then_none(self):
+        det, tasks = self.make()
+        task = tasks[0]
+        assert det.ctx_token(task) is None  # not begun yet
+        det.task_begin(task)
+        token = det.ctx_token(task)
+        assert token is not None
+        det.task_end(task)
+        assert det.ctx_token(task) is None  # recovery work: no token
+
+    def test_task_begin_is_idempotent(self):
+        det, tasks = self.make()
+        task = tasks[0]
+        det.task_begin(task)
+        token = det.ctx_token(task)
+        det.task_begin(task)  # failover relaunch
+        assert det.ctx_token(task) == token
+
+    def test_stale_token_records_nothing(self):
+        det, tasks = self.make()
+        target = next(t for t in tasks if t.name == "writer")
+        det.task_begin(target)
+        det.kernel(target, 1, token=999_999)  # token from another life
+        assert det.recorded_accesses == 0
+
+
+class TestDiagnostics:
+    def test_stale_host_read(self):
+        prog = OmpProgram(name="stale")
+        b = prog.buffer(8, name="b")
+        task = prog.task(depend=[depend_in(b)], cost=1e-3, name="reduce")
+        det = RaceDetector()
+        det.program_begin(prog)
+        det.task_begin(task)
+        dm = SimpleNamespace(host_is_stale=lambda buf: 2)
+        det.host_task(task, dm)
+        stale = [f for f in det.findings if f.rule == "stale-host-read"]
+        assert len(stale) == 1
+        assert "node 2" in stale[0].message
+        det.host_task(task, dm)  # reported once, not per call
+        assert len([f for f in det.findings
+                    if f.rule == "stale-host-read"]) == 1
+
+    def test_use_before_map_only_with_explicit_mapping(self):
+        prog = OmpProgram(name="maps")
+        a = prog.buffer(8, name="a")
+        b = prog.buffer(8, name="b")
+        prog.target_enter_data(a)
+        task = prog.target(depend=[depend_in(b)], cost=1e-3, name="t")
+        det = RaceDetector()
+        det.program_begin(prog)
+        det.mapped(a)
+        det.check_mapped(task, b)
+        assert [f.rule for f in det.findings] == ["use-before-map"]
+
+        # A program with no enter data at all relies on lazy mapping —
+        # the rule must stay quiet.
+        lazy = OmpProgram(name="lazy")
+        c = lazy.buffer(8, name="c")
+        task2 = lazy.target(depend=[depend_in(c)], cost=1e-3, name="t2")
+        det2 = RaceDetector()
+        det2.program_begin(lazy)
+        det2.check_mapped(task2, c)
+        assert det2.findings == []

@@ -1,0 +1,72 @@
+"""Unit tests for the sparse vector clocks."""
+
+from repro.analysis.vc import VectorClock, ordered
+
+
+class TestVectorClock:
+    def test_starts_empty(self):
+        vc = VectorClock()
+        assert len(vc) == 0
+        assert vc.get(1) == 0
+
+    def test_tick_increments_one_component(self):
+        vc = VectorClock()
+        vc.tick(3)
+        vc.tick(3)
+        assert vc.get(3) == 2
+        assert vc.get(4) == 0
+
+    def test_join_takes_componentwise_max(self):
+        a = VectorClock()
+        a.tick(1)
+        a.tick(1)
+        b = VectorClock()
+        b.tick(2)
+        a.join(b)
+        assert a.get(1) == 2
+        assert a.get(2) == 1
+
+    def test_copy_is_independent(self):
+        a = VectorClock()
+        a.tick(1)
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1
+        assert b.get(1) == 2
+
+    def test_leq(self):
+        a = VectorClock()
+        a.tick(1)
+        b = a.copy()
+        b.tick(2)
+        assert a.leq(b)
+        assert not b.leq(a)
+
+    def test_eq(self):
+        a = VectorClock()
+        a.tick(1)
+        b = VectorClock()
+        b.tick(1)
+        assert a == b
+
+
+class TestOrdered:
+    def make(self):
+        # ctx 1 happens before ctx 2: ctx 2's clock joins ctx 1's.
+        a = VectorClock()
+        a.tick(1)
+        b = a.copy()
+        b.tick(2)
+        return a, b
+
+    def test_happens_before_is_ordered(self):
+        a, b = self.make()
+        assert ordered(a, 1, b, 2)
+        assert ordered(b, 2, a, 1)  # symmetric: either direction counts
+
+    def test_concurrent_is_unordered(self):
+        a = VectorClock()
+        a.tick(1)
+        b = VectorClock()
+        b.tick(2)
+        assert not ordered(a, 1, b, 2)

@@ -49,6 +49,29 @@ class TestValidation:
         with pytest.raises(ValueError, match="undeclared buffer"):
             prog.validate()
 
+    def test_in_plus_out_on_one_buffer_rejected(self):
+        prog = OmpProgram()
+        A = prog.buffer(8, name="A")
+        prog.target(depend=[depend_in(A), depend_out(A)])
+        with pytest.raises(ValueError, match="use depend\\(inout\\)"):
+            prog.validate()
+
+    def test_inout_spelling_accepted(self):
+        prog = OmpProgram()
+        A = prog.buffer(8, name="A")
+        prog.target(depend=[depend_inout(A)])
+        prog.validate()
+
+    def test_undeclared_access_buffer_rejected(self):
+        from repro.omp import Buffer
+
+        prog = OmpProgram()
+        A = prog.buffer(8, name="A")
+        rogue = Buffer(8, name="rogue")
+        prog.target(depend=[depend_in(A)], accesses=(depend_in(rogue),))
+        with pytest.raises(ValueError, match="accesses undeclared buffer"):
+            prog.validate()
+
     def test_enter_data_requires_buffers(self):
         prog = OmpProgram()
         with pytest.raises(ValueError):

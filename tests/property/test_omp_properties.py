@@ -122,7 +122,13 @@ def test_host_runtime_executes_every_task_once(program_clauses):
     buffers = [prog.buffer(8, name=f"b{i}") for i in range(5)]
     counts = {}
     for task_id, clauses in enumerate(program_clauses):
-        deps = [Dep(buffers[bi], dt) for bi, dt in clauses]
+        # validate() rejects in+out on one buffer (the legal spelling is
+        # inout), so coalesce the random clauses per buffer first.
+        per_buf: dict[int, DepType] = {}
+        for bi, dt in clauses:
+            prev = per_buf.get(bi)
+            per_buf[bi] = dt if prev is None or prev == dt else DepType.INOUT
+        deps = [Dep(buffers[bi], dt) for bi, dt in per_buf.items()]
 
         def body(*args, tid=task_id):
             counts[tid] = counts.get(tid, 0) + 1
