@@ -1,0 +1,176 @@
+"""Overload ablation: a million-user day against the elastic manager.
+
+The :class:`~repro.jobs.OverloadTrace` replays a bursty multi-tenant
+day — quiet, ramp, spike, decay — through the
+:class:`~repro.jobs.ElasticJobManager` at 1x/3x/10x the baseline load.
+At 1x the cluster absorbs everything; at 3x and 10x the protection
+machinery must degrade *gracefully*: per-tenant token buckets and the
+bounded queue shed the excess (every shed job gets a reason, none
+vanish), the autoscaler onlines parked nodes through a warm-up cost,
+high-priority interactive jobs preempt preemptible batch work, and the
+fixed handful of poison jobs lands in the dead-letter queue instead of
+crash-looping.  The SLO claim: p99 bounded slowdown of *admitted* jobs
+stays within the configured bound at every load level — overload costs
+admission, not latency.
+
+Determinism: the trace, the buckets, the autoscaler, and victim
+selection are all seeded/pure, so a run replays bit-identical from its
+seed — asserted here and pinned exactly by the CI overload-smoke job.
+"""
+
+from __future__ import annotations
+
+from repro.bench.jobscmd import (
+    OVERLOAD_NODES,
+    OVERLOAD_SEED,
+    overload_counts,
+    overload_trace,
+    run_overload,
+)
+from repro.bench.report import format_table
+
+LOADS = (1.0, 3.0, 10.0)
+
+
+def schedule_of(report):
+    """The comparable essence of a run: every job's exact outcome."""
+    return [
+        (r.name, r.state, r.start_time, r.finish_time, r.requeues, r.error)
+        for r in report.records
+    ]
+
+
+class TestAblationOverload:
+    def test_bench_overload_degrades_gracefully(self, benchmark):
+        def sweep():
+            return {
+                load: run_overload("backfill", load=load, quick=True)
+                for load in LOADS
+            }
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        for load, (_mgr, report) in results.items():
+            # No job silently lost: every submission is accounted for.
+            assert report.accounted == report.total_jobs, (
+                f"load {load}: accounting identity broken"
+            )
+            assert report.running == 0  # run() drains fully
+            # Admitted jobs met the latency SLO even under overload.
+            assert report.p99_bounded_slowdown <= report.slo_bounded_slowdown
+            assert report.slo_attainment == 1.0
+        r1, r10 = results[1.0][1], results[10.0][1]
+        # The 1x day is business as usual: nothing shed.
+        assert r1.shed == 0
+        # 10x overload sheds most of the flood but still completes real
+        # work, and the poison jobs are quarantined, not crash-looped.
+        assert r10.shed_fraction > 0.5
+        assert r10.completed >= r1.completed * 0.5
+        assert results[1.0][0].dead_letters.by_kind().get("failures", 0) >= 1
+
+    def test_bench_preemption_and_autoscaling_engage(self, benchmark):
+        def run():
+            return run_overload("backfill", load=3.0, quick=True)
+
+        manager, report = benchmark.pedantic(run, rounds=1, iterations=1)
+        # The spike forced scale-ups; the decay allowed scale-downs.
+        assert manager.autoscaler.scale_ups >= 1
+        assert manager.autoscaler.scale_downs >= 1
+        # Interactive jobs evicted batch work at least once.
+        assert report.preempted >= 1
+
+    def test_bench_seeded_replay_is_identical(self, benchmark):
+        def twice():
+            return (run_overload("backfill", load=3.0, quick=True),
+                    run_overload("backfill", load=3.0, quick=True))
+
+        (m1, r1), (m2, r2) = benchmark.pedantic(twice, rounds=1, iterations=1)
+        assert schedule_of(r1) == schedule_of(r2)
+        assert overload_counts(m1, r1) == overload_counts(m2, r2)
+        assert m1.dead_letters.records == m2.dead_letters.records
+
+
+def lint_scenarios(quick: bool = True) -> int:
+    """Lint every distinct program shape in the overload trace through
+    the PR 5 analysis subsystem (the ``bench check`` machinery)."""
+    from repro.analysis import lint_program
+
+    findings = 0
+    seen: set[str] = set()
+    for _arrival, spec in overload_trace(quick=quick):
+        # One lint per job class (batch/interactive/poison share shapes).
+        key = spec.name[0]
+        if key in seen:
+            continue
+        seen.add(key)
+        program = spec.program()
+        issues = lint_program(program)
+        errors = [f for f in issues if f.severity.name == "ERROR"]
+        findings += len(errors)
+        status = f"{len(errors)} error(s)" if errors else "clean"
+        print(f"  lint {spec.name} ({program.name}): {status}")
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json as jsonlib
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=OVERLOAD_SEED)
+    parser.add_argument("--loads", type=float, nargs="+",
+                        default=list(LOADS))
+    parser.add_argument("--policy", default="backfill")
+    parser.add_argument("--quick", action="store_true",
+                        help="half-length trace for smoke tests")
+    parser.add_argument("--json", default=None,
+                        help="write exact per-load counts to this file")
+    parser.add_argument("--check", action="store_true",
+                        help="lint the trace's program shapes through "
+                        "the analysis subsystem and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        errors = lint_scenarios(quick=args.quick)
+        print(f"scenario lint: {errors} error-level finding(s)")
+        return 1 if errors else 0
+
+    rows = []
+    payload = {}
+    for load in args.loads:
+        manager, report = run_overload(
+            args.policy, seed=args.seed, load=load, quick=args.quick
+        )
+        counts = overload_counts(manager, report)
+        payload[f"{load:g}x"] = counts
+        rows.append([
+            f"{load:g}x",
+            counts["submitted"],
+            counts["completed"],
+            f"{report.shed_fraction * 100:.1f}",
+            counts["dead_lettered"],
+            counts["preempted"],
+            counts["scale_ups"],
+            f"{counts['p99_bounded_slowdown']:.2f}",
+            f"{counts['slo_attainment'] * 100:.0f}",
+        ])
+        assert report.accounted == report.total_jobs
+    print(format_table(
+        ["load", "jobs", "done", "shed %", "DLQ", "preempt",
+         "scale-ups", "p99 b.slow", "SLO %"],
+        rows,
+        title=(
+            f"Ablation E — overload protection on a "
+            f"{OVERLOAD_NODES - 1}-node elastic pool "
+            f"(seed {args.seed}, policy {args.policy}"
+            f"{', quick' if args.quick else ''})"
+        ),
+    ))
+    if args.json:
+        with open(args.json, "w") as fh:
+            jsonlib.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"exact counts -> {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

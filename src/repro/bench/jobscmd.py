@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench jobs --policy backfill --nodes 17 --jobs 24
     python -m repro.bench jobs --policy all --seed 7
     python -m repro.bench jobs --trace workload.json --policy fifo
+    python -m repro.bench jobs --overload --load 1 3 10 --policy all
 
 Generates a seeded Poisson stream of Task Bench jobs (or replays a JSON
 workload trace), runs it through the :class:`~repro.jobs.JobManager`
@@ -13,21 +14,99 @@ per-job wait/run/bounded-slowdown rows, queue-depth profile, and
 space-shared utilization.  ``--policy all`` runs the same workload under
 every policy and appends a comparison table — the quick-look version of
 ``benchmarks/bench_jobs_backfill.py``.
+
+``--overload`` switches to the elastic overload scenario instead
+(:class:`~repro.jobs.OverloadTrace` through the
+:class:`~repro.jobs.ElasticJobManager`): a bursty multi-tenant day
+replayed at each ``--load`` multiplier, reporting SLO attainment, shed
+and dead-lettered fractions, and preemption counts — the quick-look
+version of ``benchmarks/bench_jobs_overload.py``.  ``--json`` dumps the
+exact counts for CI smoke assertions.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 
 from repro.cluster.machine import Cluster, ClusterSpec
 from repro.jobs import (
     POLICIES,
+    ElasticConfig,
+    ElasticJobManager,
     JobManager,
+    OverloadTrace,
     PoissonWorkload,
     format_jobs_report,
     jobs_from_json,
 )
+
+#: Canonical overload scenario: one source of truth shared by the CLI,
+#: ``benchmarks/bench_jobs_overload.py``, the property tests, and the
+#: CI overload-smoke job — change it in one place, re-pin CI numbers.
+OVERLOAD_NODES = 17
+OVERLOAD_SEED = 7
+
+
+def overload_elastic_config() -> ElasticConfig:
+    """Elastic knobs of the canonical overload scenario."""
+    return ElasticConfig(
+        rate=45.0,
+        burst=10.0,
+        queue_limit=24,
+        initial_online=8,
+        check_interval=0.005,
+        warmup_time=0.02,
+        cooldown=0.02,
+        min_online=4,
+        slo_bounded_slowdown=50.0,
+    )
+
+
+def overload_trace(seed: int = OVERLOAD_SEED, load: float = 1.0,
+                   quick: bool = False):
+    """The canonical bursty trace at a load multiplier."""
+    return OverloadTrace(
+        seed=seed, load=load, duration=0.4 if quick else 0.8
+    ).generate()
+
+
+def run_overload(
+    policy: str,
+    seed: int = OVERLOAD_SEED,
+    load: float = 1.0,
+    quick: bool = False,
+    elastic: ElasticConfig | None = None,
+):
+    """Run the canonical overload scenario; returns (manager, report)."""
+    trace = overload_trace(seed=seed, load=load, quick=quick)
+    manager = ElasticJobManager(
+        Cluster(ClusterSpec(num_nodes=OVERLOAD_NODES)),
+        policy=policy,
+        elastic=elastic or overload_elastic_config(),
+    )
+    return manager, manager.run(trace)
+
+
+def overload_counts(manager, report) -> dict:
+    """The exact integers CI pins (plus the SLO numbers)."""
+    return {
+        "submitted": report.total_jobs,
+        "completed": report.completed,
+        "failed": report.failed,
+        "shed": report.shed,
+        "dead_lettered": report.dead_lettered,
+        "running": report.running,
+        "accounted": report.accounted,
+        "preempted": report.preempted,
+        "requeued": report.requeued,
+        "dead_letter_kinds": manager.dead_letters.by_kind(),
+        "p99_bounded_slowdown": report.p99_bounded_slowdown,
+        "slo_attainment": report.slo_attainment,
+        "scale_ups": manager.autoscaler.scale_ups,
+        "scale_downs": manager.autoscaler.scale_downs,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="small fast workload (8 jobs) for smoke tests")
     parser.add_argument("--no-per-job", action="store_true",
                         help="suppress the per-job table")
+    parser.add_argument("--overload", action="store_true",
+                        help="run the elastic overload scenario "
+                        "(bursty trace through the elastic manager)")
+    parser.add_argument("--load", type=float, nargs="+", default=[1.0],
+                        help="overload load multipliers (default: 1)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="overload mode: write exact per-run counts "
+                        "to this JSON file (CI smoke input)")
     return parser
 
 
@@ -84,8 +171,49 @@ def _run_policy(policy: str, workload, nodes: int):
     return manager.run(workload)
 
 
+def _main_overload(args: argparse.Namespace) -> int:
+    from repro.bench.report import format_table
+
+    policies = sorted(POLICIES) if args.policy == "all" else [args.policy]
+    rows = []
+    payload: dict[str, dict] = {}
+    for load in args.load:
+        for policy in policies:
+            manager, report = run_overload(
+                policy, seed=args.seed, load=load, quick=args.quick
+            )
+            counts = overload_counts(manager, report)
+            payload[f"{load:g}x/{policy}"] = counts
+            print(f"-- load {load:g}x, policy {policy} --")
+            print(format_jobs_report(report, per_job=False))
+            print()
+            rows.append([
+                f"{load:g}x", policy,
+                counts["submitted"], counts["completed"],
+                f"{report.shed_fraction * 100:.1f}",
+                counts["dead_lettered"], counts["preempted"],
+                f"{counts['p99_bounded_slowdown']:.2f}",
+                f"{counts['slo_attainment'] * 100:.1f}",
+            ])
+    print(format_table(
+        ["load", "policy", "jobs", "done", "shed %", "DLQ",
+         "preempt", "p99 b.slow", "SLO %"],
+        rows,
+        title=(
+            f"overload scenario — {OVERLOAD_NODES - 1}-node elastic pool "
+            f"(seed {args.seed}{', quick' if args.quick else ''})"
+        ),
+    ))
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\nexact counts -> {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.overload:
+        return _main_overload(args)
     workload = _workload(args)
     largest = max(spec.nodes for _, spec in workload) if workload else 0
     if largest > args.nodes - 1:

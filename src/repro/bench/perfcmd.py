@@ -1,0 +1,152 @@
+"""The ``perf`` subcommand: simulator performance baseline.
+
+Usage::
+
+    python -m repro.bench perf
+    python -m repro.bench perf --out BENCH_jobs.json --quick
+
+Times representative workloads — Fig. 5-style Task Bench scalability
+cells on the single-application runtime, plus the multi-tenant jobs
+bench (backfill workload and the elastic overload scenario) — and
+records, per cell, the host wall time, the number of simulation events
+processed, the resulting events/second, and the simulated makespan.
+The JSON this emits (``BENCH_jobs.json`` by convention) is the
+regression baseline future performance work compares against: events
+and makespans are exactly reproducible, wall time and events/second
+characterize the machine the baseline was taken on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.runtime import OMPCRuntime
+from repro.taskbench import KernelSpec, Pattern, TaskBenchSpec
+from repro.taskbench.bench import build_omp_program
+
+#: Reference fabric bandwidth for CCR-derived payload sizes (§6.1).
+DEFAULT_BANDWIDTH = 100e9 / 8.0
+
+SCHEMA = "repro-perf/1"
+
+
+def _fig5_spec(nodes: int, steps: int) -> TaskBenchSpec:
+    """Fig. 5 cell shape: width 2n, 50 ms tasks, CCR 1.0 (steps vary
+    so ``--quick`` stays fast)."""
+    return TaskBenchSpec.with_ccr(
+        2 * nodes, steps, Pattern.STENCIL_1D,
+        KernelSpec.paper_50ms(), 1.0, DEFAULT_BANDWIDTH,
+    )
+
+
+def _run_fig5_cell(nodes: int, steps: int) -> dict:
+    program = build_omp_program(_fig5_spec(nodes, steps))
+    runtime = OMPCRuntime(ClusterSpec(num_nodes=nodes), OMPCConfig())
+    t0 = time.perf_counter()
+    result = runtime.run(program)
+    wall = time.perf_counter() - t0
+    events = runtime.last_cluster.sim._seq
+    return _cell(
+        f"fig5_stencil_1d_n{nodes}", wall, events, result.makespan
+    )
+
+
+def _run_jobs_backfill(quick: bool) -> dict:
+    from repro.jobs import JobManager, PoissonWorkload
+
+    workload = PoissonWorkload(
+        seed=7, jobs=8 if quick else 24, mean_interarrival=0.01,
+        large=(8, 12), large_fraction=0.35, steps=(3, 6),
+        task_seconds=(0.02, 0.08),
+    ).generate()
+    manager = JobManager(
+        Cluster(ClusterSpec(num_nodes=17)), policy="backfill"
+    )
+    t0 = time.perf_counter()
+    report = manager.run(workload)
+    wall = time.perf_counter() - t0
+    return _cell(
+        "jobs_backfill", wall, manager.sim._seq, report.horizon
+    )
+
+
+def _run_jobs_overload(quick: bool) -> dict:
+    from repro.bench.jobscmd import run_overload
+
+    manager, report = run_overload("backfill", load=1.0, quick=quick)
+    # The manager is built inside run_overload; its wall time includes
+    # trace generation, which is part of the serving path anyway.
+    t0 = time.perf_counter()
+    manager2, report2 = run_overload("backfill", load=1.0, quick=quick)
+    wall = time.perf_counter() - t0
+    del manager, report  # warm-up run (imports, first-touch caches)
+    return _cell(
+        "jobs_overload_1x", wall, manager2.sim._seq, report2.horizon
+    )
+
+
+def _cell(name: str, wall: float, events: int, makespan: float) -> dict:
+    return {
+        "name": name,
+        "wall_s": round(wall, 6),
+        "events": int(events),
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "makespan_s": round(float(makespan), 9),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench perf",
+        description="Measure simulator throughput (events/sec + "
+        "makespan) on representative workloads and emit a JSON "
+        "baseline for perf regression tracking.",
+    )
+    parser.add_argument("--out", type=Path, default=Path("BENCH_jobs.json"),
+                        help="output JSON path (default: BENCH_jobs.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller cells for smoke tests")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    steps = 4 if args.quick else 16
+    node_counts = (4, 8) if args.quick else (4, 8, 16)
+
+    cells = []
+    for nodes in node_counts:
+        cell = _run_fig5_cell(nodes, steps)
+        cells.append(cell)
+        print(f"  {cell['name']}: {cell['events']} events in "
+              f"{cell['wall_s']:.3f} s host time "
+              f"({cell['events_per_sec']:.0f} ev/s), "
+              f"makespan {cell['makespan_s']:.4f} s")
+    for runner in (_run_jobs_backfill, _run_jobs_overload):
+        cell = runner(args.quick)
+        cells.append(cell)
+        print(f"  {cell['name']}: {cell['events']} events in "
+              f"{cell['wall_s']:.3f} s host time "
+              f"({cell['events_per_sec']:.0f} ev/s), "
+              f"makespan {cell['makespan_s']:.4f} s")
+
+    payload = {
+        "schema": SCHEMA,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cells": cells,
+    }
+    args.out.write_text(json.dumps(payload, indent=2))
+    print(f"perf baseline -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

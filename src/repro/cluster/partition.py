@@ -284,6 +284,17 @@ class NodePool:
         return len(self._free) + len(self._held)
 
     @property
+    def potential_capacity(self) -> int:
+        """Nodes the pool could ever schedule.
+
+        For the static pool this equals :attr:`capacity`; an elastic
+        pool (see :class:`ElasticNodePool`) also counts parked nodes an
+        autoscaler may still bring online, so the job manager does not
+        fail a queued job that a future scale-up could satisfy.
+        """
+        return self.capacity
+
+    @property
     def free_count(self) -> int:
         return len(self._free)
 
@@ -344,3 +355,104 @@ class NodePool:
     def view(self, node_ids, name: str = "") -> ClusterView:
         """Build the :class:`ClusterView` for an allocated partition."""
         return ClusterView(self.cluster, node_ids, name=name)
+
+
+class ElasticNodePool(NodePool):
+    """A node pool whose schedulable size an autoscaler grows and shrinks.
+
+    The physical cluster is built at its *maximum* size; nodes beyond
+    ``initial_online`` start *offline* (parked, consuming nothing,
+    invisible to the allocator).  The autoscaling controller moves nodes
+    between three states:
+
+    offline
+        Parked.  Not allocatable, not counted in :attr:`capacity`, but
+        counted in :attr:`potential_capacity` — a queued job that fits
+        the potential pool is kept queued instead of failed.
+    warming
+        A scale-up was decided but the node is still booting (warm-up
+        cost).  Allocatable only once warm-up completes.
+    online
+        In the free list, exactly like a static pool's nodes.
+
+    Scale-down only ever takes *free* nodes (jobs are never evicted by
+    the autoscaler — preemption is a separate, priority-driven
+    mechanism), and takes the highest-ids first so the lowest-first
+    allocator keeps packing the stable low end of the pool.  All
+    transitions are pure functions of the request sequence, so seeded
+    runs replay identically.
+    """
+
+    def __init__(self, cluster: Cluster, reserved=(0,),
+                 initial_online: int | None = None):
+        super().__init__(cluster, reserved=reserved)
+        total = len(self._free)
+        if initial_online is None:
+            initial_online = total
+        if not 1 <= initial_online <= total:
+            raise PartitionError(
+                f"initial_online must be in [1, {total}], "
+                f"got {initial_online}"
+            )
+        #: Parked nodes, highest ids first off the free list.
+        self._offline: list[int] = sorted(self._free[initial_online:])
+        del self._free[initial_online:]
+        self._warming: set[int] = set()
+
+    # -- capacity ----------------------------------------------------------
+    @property
+    def potential_capacity(self) -> int:
+        """Free + held + parked + warming (everything not retired)."""
+        return self.capacity + len(self._offline) + len(self._warming)
+
+    @property
+    def offline_count(self) -> int:
+        return len(self._offline)
+
+    @property
+    def warming_count(self) -> int:
+        return len(self._warming)
+
+    # -- autoscaler transitions --------------------------------------------
+    def begin_warmup(self, count: int) -> tuple[int, ...]:
+        """Pull up to ``count`` parked nodes into the warming state.
+
+        Returns the node ids actually taken (lowest parked ids first;
+        possibly fewer than requested, possibly empty).
+        """
+        count = min(count, len(self._offline))
+        taken = tuple(self._offline[:count])
+        del self._offline[:count]
+        self._warming.update(taken)
+        return taken
+
+    def complete_warmup(self, node_ids) -> None:
+        """Warm-up finished: the nodes join the free list."""
+        for node_id in node_ids:
+            if node_id not in self._warming:
+                raise PartitionError(f"node {node_id} is not warming")
+            self._warming.discard(node_id)
+            if node_id in self._retired:
+                continue  # retired while booting: never joins
+            self._free.append(node_id)
+        self._free.sort()
+
+    def take_offline(self, count: int) -> tuple[int, ...]:
+        """Park up to ``count`` *free* nodes (highest ids first).
+
+        Held nodes are never touched; returns the ids actually parked.
+        """
+        count = min(count, len(self._free))
+        if count <= 0:
+            return ()
+        taken = tuple(self._free[-count:])
+        del self._free[-count:]
+        self._offline.extend(taken)
+        self._offline.sort()
+        return taken
+
+    def retire(self, node_id: int) -> None:
+        super().retire(node_id)
+        if node_id in self._offline:
+            self._offline.remove(node_id)
+        # A warming node is dropped when its warm-up completes.

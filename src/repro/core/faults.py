@@ -95,6 +95,17 @@ class RecoveryError(SimulationError):
     """A lost buffer cannot be reconstructed from surviving data."""
 
 
+class ClusterExhausted(RecoveryError):
+    """Permanent failures left no workers to run on.
+
+    Raised instead of a generic :class:`RecoveryError` when execution
+    itself is impossible — every worker of the (sub)cluster has been
+    declared dead — so a workload manager can distinguish "this
+    partition is gone" (fail/requeue the one job, keep serving other
+    tenants) from "this buffer is unrecoverable".
+    """
+
+
 @dataclass(frozen=True)
 class NodeFailure:
     """One injected crash."""
@@ -774,12 +785,24 @@ class FaultTolerantRuntime:
 
             The wrapper absorbs the failover-teardown Interrupt: these
             frames have no waiter by design, and a failing process with
-            no waiter crashes the simulation.
+            no waiter crashes the simulation.  A *simulation-level*
+            error (e.g. :class:`ClusterExhausted` when permanent
+            failures drain the last worker) is routed to ``all_done``
+            instead of being re-raised, so it propagates through the
+            main process — which tears this run's machinery down and
+            reports the failure to *this job's* caller — rather than
+            aborting the whole simulator (and every co-tenant sharing
+            it).
             """
             def shielded(g=gen):
                 try:
                     yield from g
                 except Interrupt:
+                    return
+                except SimulationError as exc:
+                    done = all_done  # current epoch's barrier
+                    if not done.triggered:
+                        done.fail(exc)
                     return
 
             proc = sim.process(shielded(), name=name)
@@ -815,7 +838,7 @@ class FaultTolerantRuntime:
                 # Deterministic re-map: spread by task id over survivors.
                 survivors = live_workers()
                 if not survivors:
-                    raise RecoveryError("all worker nodes have failed")
+                    raise ClusterExhausted("all worker nodes have failed")
                 node = survivors[task.task_id % len(survivors)]
             return node
 
@@ -827,7 +850,9 @@ class FaultTolerantRuntime:
                 remaining[succ.task_id] -= 1
                 if remaining[succ.task_id] == 0:
                     spawn(run_task(succ), name=f"ft-task:{succ.name}")
-            if pending == 0:
+            if pending == 0 and not all_done.triggered:
+                # (an aborting run may have failed the barrier already
+                # while sibling frames were still draining)
                 all_done.succeed()
 
         # -- buffer movement and recovery -------------------------------
@@ -1545,15 +1570,19 @@ class FaultTolerantRuntime:
             try:
                 yield from main_body()
             except BaseException:
-                # Unrecoverable abort: tear this job's machinery down so
-                # a shared simulation (multi-tenant cluster views) is
+                # Unrecoverable abort (or a preemption interrupt from
+                # the workload manager): tear this job's machinery down
+                # so a shared simulation (multi-tenant cluster views) is
                 # not left with orphaned heartbeat/gate processes
-                # ticking forever after the error propagates out.
+                # ticking forever after the error propagates out.  An
+                # abort during startup finds the event system not yet
+                # started — nothing to tear down there.
                 ckpt_stop = True
                 ring.stop()
-                for node in range(cluster.num_nodes):
-                    if not events.node_failed(node):
-                        events.fail_node(node)
+                if events._started:
+                    for node in range(cluster.num_nodes):
+                        if not events.node_failed(node):
+                            events.fail_node(node)
                 raise
 
         def main_body():

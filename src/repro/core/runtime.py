@@ -334,6 +334,22 @@ class OMPCRuntime:
 
         # -- main process on the head node ------------------------------------
         def main():
+            try:
+                yield from main_body()
+            except BaseException:
+                # Abort (error or a workload manager's preemption
+                # interrupt): kill this run's gate/handler processes so
+                # a shared simulation (multi-tenant cluster views) is
+                # not left with orphaned machinery ticking after the
+                # error propagates out.  Aborts during startup find the
+                # event system not yet started — nothing to tear down.
+                if events._started:
+                    for node_id in range(cluster.num_nodes):
+                        if not events.node_failed(node_id):
+                            events.fail_node(node_id)
+                raise
+
+        def main_body():
             # 1. startup: process start -> gate-thread creation (Fig. 7a).
             span = trace.begin("runtime", "startup")
             obs_span = obs.begin("sched", "startup", 0)

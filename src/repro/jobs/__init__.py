@@ -8,6 +8,14 @@ per-job isolated runtime instances.  See DESIGN.md §"Multi-tenant
 execution".
 """
 
+from repro.jobs.elastic import (
+    AutoscalerController,
+    DeadLetterQueue,
+    DeadLetterRecord,
+    ElasticConfig,
+    ElasticJobManager,
+    TokenBucket,
+)
 from repro.jobs.job import Job, JobSpec, JobState
 from repro.jobs.manager import JobManager
 from repro.jobs.policies import (
@@ -17,13 +25,23 @@ from repro.jobs.policies import (
     FairSharePolicy,
     FifoPolicy,
     make_policy,
+    select_victims,
 )
 from repro.jobs.telemetry import JobRecord, JobsReport, format_jobs_report
-from repro.jobs.workload import PoissonWorkload, jobs_from_json
+from repro.jobs.workload import (
+    OverloadTrace,
+    PoissonWorkload,
+    jobs_from_json,
+)
 
 __all__ = [
     "AdmissionPolicy",
+    "AutoscalerController",
+    "DeadLetterQueue",
+    "DeadLetterRecord",
     "EasyBackfillPolicy",
+    "ElasticConfig",
+    "ElasticJobManager",
     "FairSharePolicy",
     "FifoPolicy",
     "Job",
@@ -32,9 +50,12 @@ __all__ = [
     "JobSpec",
     "JobState",
     "JobsReport",
+    "OverloadTrace",
     "POLICIES",
     "PoissonWorkload",
+    "TokenBucket",
     "format_jobs_report",
     "jobs_from_json",
     "make_policy",
+    "select_victims",
 ]

@@ -26,10 +26,15 @@ class JobState(enum.Enum):
     RUNNING = "running"      # holds a partition, runtime in flight
     COMPLETED = "completed"  # finished successfully
     FAILED = "failed"        # gave up (unrecoverable, or out of attempts)
+    SHED = "shed"            # rejected at admission (throttle/queue bound)
+    DEAD_LETTERED = "dead_lettered"  # quarantined after repeated trouble
 
 
 #: Terminal states — a job in one of these never changes again.
-TERMINAL_STATES = frozenset({JobState.COMPLETED, JobState.FAILED})
+TERMINAL_STATES = frozenset({
+    JobState.COMPLETED, JobState.FAILED,
+    JobState.SHED, JobState.DEAD_LETTERED,
+})
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,11 @@ class JobSpec:
     fault_tolerant: bool = False
     failures: tuple[NodeFailure, ...] = ()
     max_attempts: int = 2
+    #: A preemptible job may be evicted mid-run by the elastic manager
+    #: to make room for a higher-priority job; it is requeued (not
+    #: charged an attempt) and restarted from its program factory on
+    #: fresh nodes.
+    preemptible: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -101,6 +111,9 @@ class Job:
         self.partition: tuple[int, ...] = ()
         self.attempts = 0
         self.requeues = 0
+        #: How many times this job was preempted for a higher-priority
+        #: job (each preemption requeues without charging an attempt).
+        self.preemptions = 0
         #: True when the *current/last* dispatch jumped the queue.
         self.backfilled = False
         #: Injected failures still pending for the next attempt (fired

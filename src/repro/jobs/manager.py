@@ -33,13 +33,17 @@ from typing import Iterable
 from repro.cluster.machine import Cluster
 from repro.cluster.partition import ClusterView, NodePool
 from repro.core.config import OMPCConfig
-from repro.core.faults import FaultTolerantRuntime, RecoveryError
+from repro.core.faults import (
+    ClusterExhausted,
+    FaultTolerantRuntime,
+    RecoveryError,
+)
 from repro.core.runtime import OMPCRuntime
 from repro.jobs.job import Job, JobSpec, JobState
 from repro.jobs.policies import AdmissionPolicy, make_policy
 from repro.jobs.telemetry import JobsReport, build_report
 from repro.obs.observer import Observer
-from repro.sim.errors import SimulationError
+from repro.sim.errors import Interrupt, SimulationError
 
 
 class JobManager:
@@ -64,7 +68,7 @@ class JobManager:
         #: Bounded-slowdown clamp (seconds) for the report metrics.
         self.slowdown_tau = slowdown_tau
         #: Physical node 0 is the login/manager node; jobs get workers.
-        self.pool = NodePool(cluster, reserved=(0,))
+        self.pool = self._make_pool(cluster)
         #: Every job ever submitted, in submission order.
         self.jobs: list[Job] = []
         #: Jobs waiting for nodes (arrival order; policies re-sort).
@@ -83,6 +87,30 @@ class JobManager:
         self._busy_node_seconds = 0.0
         self._first_submit: float | None = None
         self._drained = None
+        #: Runtime main process per running job (preemption handle).
+        self._procs: dict[int, object] = {}
+        #: The largest partition the pool could ever offer; submissions
+        #: beyond it are programming errors, rejected synchronously.
+        self._max_partition = self.pool.potential_capacity
+
+    # ------------------------------------------------------------------
+    # subclass hooks (the elastic manager overrides these)
+    # ------------------------------------------------------------------
+    def _make_pool(self, cluster: Cluster) -> NodePool:
+        """Build the worker pool (physical node 0 stays reserved)."""
+        return NodePool(cluster, reserved=(0,))
+
+    def _admit(self, job: Job) -> str | None:
+        """Admission control at arrival: return a shed-reason string to
+        reject the job, or None to let it into the queue.  The base
+        manager admits everything (unbounded queue)."""
+        return None
+
+    def _quarantine_or_fail(self, job: Job, reason: str, kind: str) -> None:
+        """A job exhausted its attempts (``kind='failures'``) or thrashed
+        on preemption (``kind='preemption'``).  The base manager simply
+        fails it; the elastic manager quarantines it instead."""
+        self._finish_job(job, JobState.FAILED, error=reason)
 
     # ------------------------------------------------------------------
     # submission
@@ -91,10 +119,10 @@ class JobManager:
         """Submit a job, arriving at simulated time ``at`` (now if None
         or already past).  Returns the live :class:`Job` record."""
         arrival = self.sim.now if at is None else max(at, self.sim.now)
-        if spec.nodes > self.pool.capacity:
+        if spec.nodes > self._max_partition:
             raise ValueError(
                 f"job {spec.name!r} wants {spec.nodes} nodes; the pool "
-                f"only has {self.pool.capacity}"
+                f"only has {self._max_partition}"
             )
         job = Job(next(self._ids), spec, submit_time=arrival)
         self.jobs.append(job)
@@ -105,8 +133,12 @@ class JobManager:
             if arrival > self.sim.now:
                 yield self.sim.timeout(arrival - self.sim.now)
             job.submit_time = self.sim.now
-            self.queue.append(job)
             self.obs.count("jobs.submitted")
+            shed_reason = self._admit(job)
+            if shed_reason is not None:
+                self._finish_job(job, JobState.SHED, error=shed_reason)
+                return
+            self.queue.append(job)
             self._queued_spans[job.job_id] = self.obs.begin(
                 "job", f"{spec.name}:queued", 0,
                 job=job.job_id, tenant=spec.tenant, nodes=spec.nodes,
@@ -129,15 +161,17 @@ class JobManager:
     def _schedule(self) -> None:
         """Run the admission policy over the current queue (instantaneous)."""
         # Jobs the shrunken pool can never satisfy fail fast instead of
-        # pinning the queue head forever.
+        # pinning the queue head forever.  ``potential_capacity`` counts
+        # offline/warming elastic nodes too, so a job merely waiting for
+        # a scale-up is not killed prematurely.
         for job in list(self.queue):
-            if job.spec.nodes > self.pool.capacity:
+            if job.spec.nodes > self.pool.potential_capacity:
                 self.queue.remove(job)
                 self._finish_job(
                     job, JobState.FAILED,
                     error=(
                         f"needs {job.spec.nodes} nodes but the pool "
-                        f"shrank to {self.pool.capacity}"
+                        f"shrank to {self.pool.potential_capacity}"
                     ),
                 )
         for job, backfilled in self.policy.select(list(self.queue), self):
@@ -190,8 +224,20 @@ class JobManager:
             else:
                 runtime = OMPCRuntime(view.spec, config)
                 proc, finish = runtime.launch(program, cluster=view)
+            self._procs[job.job_id] = proc
             yield proc
             result = finish()
+        except Interrupt as exc:
+            self.obs.end(run_span, outcome="preempted")
+            self._on_preempted(job, finish(), str(exc.cause))
+            return
+        except ClusterExhausted as exc:
+            # Permanent retires killed every worker of the partition;
+            # record the exhaustion and keep serving other tenants.
+            self.obs.count("jobs.cluster_exhausted")
+            self.obs.end(run_span, outcome="exhausted")
+            self._on_crash(job, finish(), f"cluster exhausted: {exc}")
+            return
         except RecoveryError as exc:
             self.obs.end(run_span, outcome="crashed")
             self._on_crash(job, finish(), str(exc))
@@ -225,18 +271,52 @@ class JobManager:
         dead_virtual = tuple(sorted(set(partial.failures) | fired))
         self._release_partition(job, dead_virtual=dead_virtual)
         if job.attempts >= job.spec.max_attempts:
-            self._finish_job(
-                job, JobState.FAILED,
-                error=f"{reason} (gave up after {job.attempts} attempts)",
+            self._quarantine_or_fail(
+                job,
+                f"{reason} (gave up after {job.attempts} attempts)",
+                kind="failures",
             )
             self._schedule()
             return
-        # Strip the failures that already fired — the retry runs on
-        # fresh nodes and must not re-crash on schedule.
-        dead = set(dead_virtual)
+        # Strip the failures that already fired (by elapsed time, not by
+        # node id) — the retry runs on fresh nodes and must not re-crash
+        # on schedule, but a failure still in the future stays armed, so
+        # a genuinely poisoned job keeps crashing until it runs out of
+        # attempts.
         job.pending_failures = tuple(
-            f for f in job.pending_failures if f.node not in dead
+            f for f in job.pending_failures if f.time > elapsed
         )
+        self._requeue(job)
+
+    def _on_preempted(self, job: Job, partial, cause: str) -> None:
+        """The manager evicted this running job for a higher-priority
+        one: release its partition and requeue it (no attempt charged —
+        the eviction is the cluster's fault, not the job's)."""
+        # Injected failures that fired before the eviction really did
+        # kill physical nodes; retire them like any crash would.
+        started = self.sim.now if job.start_time is None else job.start_time
+        elapsed = self.sim.now - started
+        fired = {f.node for f in job.pending_failures if f.time <= elapsed}
+        dead_virtual = tuple(
+            sorted(set(getattr(partial, "failures", ()) or ()) | fired)
+        )
+        self._release_partition(job, dead_virtual=dead_virtual)
+        job.attempts -= 1  # preemption does not consume an attempt
+        job.preemptions += 1
+        job.pending_failures = tuple(
+            f for f in job.pending_failures if f.time > elapsed
+        )
+        self.obs.count("jobs.preempted")
+        if self._preemption_thrash(job):
+            return
+        self._requeue(job, preempted=True)
+
+    def _preemption_thrash(self, job: Job) -> bool:
+        """Hook: True if the job was quarantined for preemption thrash
+        (the elastic manager overrides; the base never thrashes)."""
+        return False
+
+    def _requeue(self, job: Job, preempted: bool = False) -> None:
         job.state = JobState.PENDING
         job.requeues += 1
         job.start_time = None
@@ -245,7 +325,7 @@ class JobManager:
         self.obs.count("jobs.requeued")
         self._queued_spans[job.job_id] = self.obs.begin(
             "job", f"{job.spec.name}:queued", 0,
-            job=job.job_id, requeue=job.requeues,
+            job=job.job_id, requeue=job.requeues, preempted=preempted,
         )
         self._schedule()
 
@@ -256,6 +336,7 @@ class JobManager:
         for virtual in dead_virtual:
             self.pool.retire(job.partition[virtual])
         self.running.pop(job.job_id, None)
+        self._procs.pop(job.job_id, None)
         started = self.sim.now if job.start_time is None else job.start_time
         elapsed = self.sim.now - started
         self.tenant_usage[job.spec.tenant] = (
@@ -274,9 +355,9 @@ class JobManager:
         if state is JobState.COMPLETED:
             self.obs.count("jobs.completed")
         else:
-            self.obs.count("jobs.failed")
+            self.obs.count(f"jobs.{state.value}")
             queued_span = self._queued_spans.pop(job.job_id, None)
-            self.obs.end(queued_span, outcome="failed")
+            self.obs.end(queued_span, outcome=state.value)
         self._update_gauges()
         if (
             self._drained is not None

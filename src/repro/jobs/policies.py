@@ -182,6 +182,44 @@ class EasyBackfillPolicy(AdmissionPolicy):
         return math.inf, free
 
 
+def select_victims(
+    job: Job,
+    manager: "JobManager",
+    free: int | None = None,
+    exclude: "set[int] | frozenset[int]" = frozenset(),
+) -> list[Job]:
+    """Pick running jobs to evict so ``job`` can start.
+
+    Victims must be preemptible and strictly lower priority than the
+    blocked job.  Among candidates, the lowest priority goes first, and
+    within a priority tier the most recently started (least work lost);
+    ties break on job id so the choice is deterministic.  Returns the
+    minimal prefix of that order whose partitions, together with the
+    currently free nodes, cover the demand — or ``[]`` if no subset
+    does (nobody is evicted for an unwinnable fight).
+    """
+    if free is None:
+        free = manager.pool.free_count
+    if free >= job.spec.nodes:
+        return []
+    candidates = [
+        victim for victim in manager.running.values()
+        if victim.spec.preemptible
+        and victim.spec.priority < job.spec.priority
+        and victim.job_id not in exclude
+    ]
+    candidates.sort(
+        key=lambda v: (v.spec.priority, -(v.start_time or 0.0), -v.job_id)
+    )
+    victims: list[Job] = []
+    for victim in candidates:
+        victims.append(victim)
+        free += len(victim.partition)
+        if free >= job.spec.nodes:
+            return victims
+    return []
+
+
 #: Policy registry for CLI/benchmark selection by name.
 POLICIES: dict[str, type[AdmissionPolicy]] = {
     policy.name: policy

@@ -64,11 +64,33 @@ class JobsReport:
     failed: int
     requeued: int
     backfilled: int
+    #: Overload-protection outcomes (all zero for the base manager).
+    shed: int = 0
+    dead_lettered: int = 0
+    preempted: int = 0
+    #: Jobs not yet terminal at report time (accounting identity:
+    #: completed + failed + shed + dead_lettered + running == total).
+    running: int = 0
+    #: Nearest-rank p99 of completed jobs' bounded slowdown.
+    p99_bounded_slowdown: float = 0.0
+    #: Configured p99 bounded-slowdown SLO (inf/None when unset).
+    slo_bounded_slowdown: float | None = None
+    #: Fraction of *admitted, finished* jobs within the SLO bound.
+    slo_attainment: float = 1.0
+    shed_fraction: float = 0.0
+    dead_letter_fraction: float = 0.0
     counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_jobs(self) -> int:
         return len(self.records)
+
+    @property
+    def accounted(self) -> int:
+        """Every submitted job lands in exactly one bucket; this must
+        always equal :attr:`total_jobs` (the no-silent-loss identity)."""
+        return (self.completed + self.failed + self.shed
+                + self.dead_lettered + self.running)
 
 
 def _record(job: Job, tau: float) -> JobRecord:
@@ -97,6 +119,15 @@ def _mean(values: list[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def _p99(values: list[float]) -> float:
+    """Nearest-rank 99th percentile (exact, deterministic)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * 99 // 100))  # ceil(0.99 n)
+    return ordered[rank - 1]
+
+
 def build_report(manager) -> JobsReport:
     """Snapshot the manager's telemetry (see :class:`JobsReport`)."""
     tau = manager.slowdown_tau
@@ -106,7 +137,12 @@ def build_report(manager) -> JobsReport:
     t1 = max(ends) if ends else manager.sim.now
     horizon = max(t1 - t0, 0.0)
     pool_nodes = manager.pool.capacity
-    denom = pool_nodes * horizon
+    # An elastic pool's size varies over the run; utilization divides
+    # by the time-averaged online capacity (the autoscaler maintains
+    # the gauge), falling back to the final capacity for static pools.
+    online = manager.obs.metrics.gauges.get("jobs.pool_online")
+    avg_nodes = online.time_average(t0, t1) if online is not None else 0.0
+    denom = (avg_nodes if avg_nodes > 0 else pool_nodes) * horizon
     utilization = manager.busy_node_seconds / denom if denom > 0 else 0.0
 
     depth = manager.obs.metrics.gauges.get("jobs.queue_depth")
@@ -115,11 +151,27 @@ def build_report(manager) -> JobsReport:
 
     completed = [r for r in records if r.state == JobState.COMPLETED.value]
     failed = [r for r in records if r.state == JobState.FAILED.value]
+    shed = [r for r in records if r.state == JobState.SHED.value]
+    dead = [r for r in records if r.state == JobState.DEAD_LETTERED.value]
+    running = [
+        r for r in records
+        if r.state in (JobState.PENDING.value, JobState.RUNNING.value)
+    ]
     counters = {
         name: counter.value
         for name, counter in manager.obs.metrics.counters.items()
         if name.startswith("jobs.")
     }
+
+    slowdowns = [r.bounded_slowdown for r in completed
+                 if r.bounded_slowdown is not None]
+    p99 = _p99(slowdowns)
+    slo = getattr(manager, "slo_bounded_slowdown", None)
+    if slo is not None and slo != float("inf") and slowdowns:
+        attainment = sum(1 for s in slowdowns if s <= slo) / len(slowdowns)
+    else:
+        attainment = 1.0
+    total = len(records)
     return JobsReport(
         records=records,
         policy=manager.policy.name,
@@ -141,6 +193,17 @@ def build_report(manager) -> JobsReport:
         failed=len(failed),
         requeued=sum(r.requeues for r in records),
         backfilled=sum(1 for r in records if r.backfilled),
+        shed=len(shed),
+        dead_lettered=len(dead),
+        preempted=int(counters.get("jobs.preempted", 0)),
+        running=len(running),
+        p99_bounded_slowdown=p99,
+        slo_bounded_slowdown=(
+            None if slo is None or slo == float("inf") else slo
+        ),
+        slo_attainment=attainment,
+        shed_fraction=len(shed) / total if total else 0.0,
+        dead_letter_fraction=len(dead) / total if total else 0.0,
         counters=counters,
     )
 
@@ -153,6 +216,20 @@ def format_jobs_report(report: JobsReport, per_job: bool = True) -> str:
         f"policy={report.policy}  jobs={report.total_jobs} "
         f"(completed={report.completed} failed={report.failed} "
         f"requeued={report.requeued} backfilled={report.backfilled})",
+    ]
+    if report.shed or report.dead_lettered or report.preempted:
+        slo = ("—" if report.slo_bounded_slowdown is None
+               else f"{report.slo_bounded_slowdown:g}")
+        lines.append(
+            f"overload: shed={report.shed} "
+            f"({report.shed_fraction * 100:.1f}%) "
+            f"dead-lettered={report.dead_lettered} "
+            f"({report.dead_letter_fraction * 100:.1f}%) "
+            f"preemptions={report.preempted} — "
+            f"p99 b.slowdown {report.p99_bounded_slowdown:.2f} "
+            f"(SLO {slo}, attainment {report.slo_attainment * 100:.1f}%)"
+        )
+    lines += [
         f"horizon {report.horizon:.4f} s on {report.pool_nodes} nodes — "
         f"utilization {report.utilization * 100:.1f}%, "
         f"throughput {report.throughput:.2f} jobs/s",

@@ -38,6 +38,10 @@ def _taskbench_job(
     pattern: Pattern = Pattern.STENCIL_1D,
     priority: int = 0,
     est_slack: float = 1.2,
+    preemptible: bool = False,
+    fault_tolerant: bool = False,
+    failures: tuple = (),
+    max_attempts: int = 2,
 ) -> JobSpec:
     """A JobSpec wrapping one Task Bench configuration.
 
@@ -61,6 +65,10 @@ def _taskbench_job(
         tenant=tenant,
         priority=priority,
         est_runtime=est,
+        preemptible=preemptible,
+        fault_tolerant=fault_tolerant,
+        failures=failures,
+        max_attempts=max_attempts,
     )
 
 
@@ -109,6 +117,113 @@ class PoissonWorkload:
                 steps=steps,
                 task_seconds=task_s,
             )))
+        return out
+
+
+@dataclass(frozen=True)
+class OverloadTrace:
+    """A bursty multi-tenant "million-user day" squeezed into a trace.
+
+    Arrival intensity follows ``profile`` — relative weights over equal
+    windows spanning ``duration`` (quiet → ramp → spike → decay), the
+    classic diurnal shape compressed to simulation scale.  Each window
+    draws a Poisson count at ``base_rate × load × weight`` and spreads
+    the arrivals uniformly inside the window.  ``load`` is the knob the
+    overload bench sweeps (1×/3×/10×): the trace shape is identical,
+    only the intensity scales.
+
+    The mix stresses every elastic mechanism:
+
+    - *batch* jobs — low priority, ``preemptible``, 3–6 nodes — the
+      cluster's bread and butter, and preemption's victims;
+    - *interactive* jobs — priority 10, small, short — the latency
+      SLO class that preempts batch when the spike hits;
+    - *poison* jobs — a fixed handful of fault-tolerant jobs whose
+      injected head failures re-fire on every attempt, crashing until
+      the dead-letter queue quarantines them.  The count does not scale
+      with ``load`` so smoke tests can assert exact DLQ numbers.
+
+    All randomness flows from ``derive_rng(seed, "jobs", "overload",
+    load)``: equal parameters generate byte-identical traces.
+    """
+
+    seed: int
+    load: float = 1.0
+    duration: float = 0.8
+    #: Expected jobs/second at ``load=1`` across all tenants.
+    base_rate: float = 40.0
+    profile: tuple[float, ...] = (0.2, 0.5, 1.0, 2.2, 3.5, 1.8, 0.7, 0.3)
+    tenants: tuple[str, ...] = ("alice", "bob", "carol", "dave")
+    interactive_fraction: float = 0.25
+    poison_jobs: int = 2
+    batch_nodes: tuple[int, int] = (3, 6)
+    interactive_nodes: tuple[int, int] = (2, 3)
+
+    def generate(self) -> list[tuple[float, JobSpec]]:
+        from repro.core.faults import NodeFailure
+
+        rng = derive_rng(self.seed, "jobs", "overload", f"{self.load:g}")
+        window = self.duration / len(self.profile)
+        out: list[tuple[float, JobSpec]] = []
+        index = 0
+        for w, weight in enumerate(self.profile):
+            mean = self.base_rate * self.load * weight * window
+            count = int(rng.poisson(mean))
+            times = sorted(
+                w * window + float(rng.random()) * window
+                for _ in range(count)
+            )
+            for t in times:
+                tenant = self.tenants[int(rng.integers(len(self.tenants)))]
+                if rng.random() < self.interactive_fraction:
+                    lo, hi = self.interactive_nodes
+                    nodes = int(rng.integers(lo, hi + 1))
+                    spec = _taskbench_job(
+                        name=f"i{index:04d}",
+                        tenant=tenant,
+                        nodes=nodes,
+                        width=max(nodes - 1, 1),
+                        steps=2,
+                        task_seconds=float(rng.uniform(0.005, 0.015)),
+                        priority=10,
+                    )
+                else:
+                    lo, hi = self.batch_nodes
+                    nodes = int(rng.integers(lo, hi + 1))
+                    spec = _taskbench_job(
+                        name=f"b{index:04d}",
+                        tenant=tenant,
+                        nodes=nodes,
+                        width=max(nodes - 1, 1),
+                        steps=int(rng.integers(2, 5)),
+                        task_seconds=float(rng.uniform(0.01, 0.03)),
+                        preemptible=True,
+                    )
+                out.append((t, spec))
+                index += 1
+        # Poison jobs at fixed fractions of the trace: attempt 1 loses
+        # its head at t=5 ms (unrecoverable — no standbys); the requeue
+        # strips only failures whose offset already elapsed, so attempt
+        # 2 still carries the two worker failures, loses every worker
+        # (ClusterExhausted), and the job runs out of attempts — into
+        # the dead-letter queue.
+        for k in range(self.poison_jobs):
+            arrival = self.duration * (0.15 + 0.3 * k / max(
+                self.poison_jobs - 1, 1))
+            out.append((arrival, _taskbench_job(
+                name=f"p{k:02d}",
+                tenant="mallory",
+                nodes=3,
+                width=2,
+                steps=9,
+                task_seconds=0.05,
+                fault_tolerant=True,
+                failures=(NodeFailure(time=0.005, node=0),
+                          NodeFailure(time=0.08, node=1),
+                          NodeFailure(time=0.09, node=2)),
+                max_attempts=2,
+            )))
+        out.sort(key=lambda pair: (pair[0], pair[1].name))
         return out
 
 

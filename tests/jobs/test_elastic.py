@@ -1,0 +1,363 @@
+"""Tests for the elastic overload-protection layer."""
+
+import math
+
+import pytest
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.cluster.partition import ElasticNodePool
+from repro.core import NodeFailure
+from repro.jobs import (
+    ElasticConfig,
+    ElasticJobManager,
+    JobManager,
+    JobState,
+    TokenBucket,
+    select_victims,
+)
+from repro.jobs.workload import _taskbench_job
+
+
+def tb_job(name, nodes, tenant="t", task_seconds=0.01, steps=2, **kw):
+    return _taskbench_job(name, tenant, nodes, width=nodes - 1,
+                          steps=steps, task_seconds=task_seconds, **kw)
+
+
+def elastic_manager(nodes=10, policy="fifo", **cfg):
+    cfg.setdefault("rate", math.inf)
+    cfg.setdefault("queue_limit", None)
+    return ElasticJobManager(
+        Cluster(ClusterSpec(num_nodes=nodes)),
+        policy=policy,
+        elastic=ElasticConfig(**cfg),
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0)
+        assert [bucket.try_take(0.0) for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_with_time(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.try_take(0.0) and bucket.try_take(0.0)
+        assert not bucket.try_take(0.05)  # only 0.5 tokens back
+        assert bucket.try_take(0.1)       # 1.0 tokens at t=0.1
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        assert bucket.try_take(10.0)  # long idle: still only 2 tokens
+        assert bucket.try_take(10.0)
+        assert not bucket.try_take(10.0)
+
+    def test_infinite_rate_never_blocks(self):
+        bucket = TokenBucket(rate=math.inf, burst=1.0)
+        assert all(bucket.try_take(0.0) for _ in range(100))
+
+
+class TestAdmission:
+    def test_rate_limit_sheds_burst(self):
+        mgr = elastic_manager(rate=5.0, burst=2.0, autoscale=False)
+        specs = [(0.0, tb_job(f"j{i}", 3, tenant="spammer"))
+                 for i in range(4)]
+        report = mgr.run(specs)
+        shed = [j for j in mgr.jobs if j.state is JobState.SHED]
+        assert len(shed) == 2
+        assert all("rate limit" in j.error for j in shed)
+        assert report.shed == 2 and report.completed == 2
+        assert report.accounted == report.total_jobs
+
+    def test_rate_limit_is_per_tenant(self):
+        mgr = elastic_manager(nodes=12, rate=5.0, burst=1.0, autoscale=False)
+        report = mgr.run([
+            (0.0, tb_job("a1", 3, tenant="alice")),
+            (0.0, tb_job("a2", 3, tenant="alice")),
+            (0.0, tb_job("b1", 3, tenant="bob")),
+        ])
+        assert report.shed == 1
+        assert mgr.jobs[1].state is JobState.SHED  # alice's second
+        assert mgr.jobs[2].state is JobState.COMPLETED  # bob unaffected
+
+    def test_bounded_queue_sheds_overflow(self):
+        mgr = elastic_manager(queue_limit=2, autoscale=False)
+        # One job holds the whole pool; the next two queue; the rest shed.
+        report = mgr.run(
+            [(0.0, tb_job("wide", 9, task_seconds=0.05))]
+            + [(0.001, tb_job(f"q{i}", 3)) for i in range(4)]
+        )
+        assert report.shed == 2
+        assert report.completed == 3
+        shed = [j for j in mgr.jobs if j.state is JobState.SHED]
+        assert all("queue full" in j.error for j in shed)
+
+    def test_no_limits_schedules_like_base_manager(self):
+        jobs = [(0.0, tb_job("a", 4)), (0.0, tb_job("b", 4)),
+                (0.01, tb_job("c", 6))]
+        base = JobManager(Cluster(ClusterSpec(num_nodes=10)))
+        base_report = base.run(jobs)
+        ela = elastic_manager(nodes=10, autoscale=False, preemption=False)
+        ela_report = ela.run(jobs)
+        base_sched = [(r.name, r.start_time, r.finish_time)
+                      for r in base_report.records]
+        ela_sched = [(r.name, r.start_time, r.finish_time)
+                     for r in ela_report.records]
+        assert base_sched == ela_sched
+
+
+class TestAutoscaler:
+    def test_scales_up_under_pressure(self):
+        mgr = elastic_manager(
+            nodes=10, initial_online=3, warmup_time=0.01,
+            check_interval=0.002, cooldown=0.004, scale_step=4,
+        )
+        assert mgr.pool.capacity == 3
+        report = mgr.run([
+            (0.0, tb_job("a", 3)),
+            (0.0, tb_job("b", 5)),  # does not fit until a scale-up
+        ])
+        assert report.completed == 2
+        assert mgr.autoscaler.scale_ups >= 1
+        assert mgr.jobs[1].state is JobState.COMPLETED
+
+    def test_warmup_delays_capacity(self):
+        mgr = elastic_manager(
+            nodes=10, initial_online=3, warmup_time=0.05,
+            check_interval=0.002, cooldown=0.004,
+        )
+        mgr.run([(0.0, tb_job("big", 5, task_seconds=0.005))])
+        big = mgr.jobs[0]
+        # The job could not start before one warm-up completed.
+        assert big.start_time >= 0.05
+
+    def test_scales_down_when_idle(self):
+        mgr = elastic_manager(
+            nodes=10, initial_online=9, warmup_time=0.01,
+            check_interval=0.002, cooldown=0.004, min_online=4,
+        )
+        mgr.run([(0.0, tb_job("solo", 3, task_seconds=0.005))])
+        # Idle ticks after the job parked spare capacity (never < min).
+        assert mgr.autoscaler.scale_downs >= 1
+        assert mgr.pool.capacity >= 4
+        assert mgr.pool.offline_count >= 1
+
+    def test_queued_job_awaiting_scaleup_not_failed(self):
+        # Static manager would fail a job wider than current capacity;
+        # the elastic pool's potential capacity keeps it queued.
+        mgr = elastic_manager(
+            nodes=10, initial_online=3, warmup_time=0.01,
+            check_interval=0.002, cooldown=0.004, scale_step=6,
+        )
+        report = mgr.run([(0.0, tb_job("wide", 8))])
+        assert report.failed == 0
+        assert mgr.jobs[0].state is JobState.COMPLETED
+
+
+class TestPreemption:
+    def two_tier(self, **cfg):
+        cfg.setdefault("autoscale", False)
+        cfg.setdefault("max_preemptions", 5)
+        return elastic_manager(nodes=8, **cfg)
+
+    def test_high_priority_evicts_batch(self):
+        mgr = self.two_tier()
+        report = mgr.run([
+            (0.0, tb_job("batch", 7, task_seconds=0.05, steps=4,
+                         preemptible=True)),
+            (0.01, tb_job("urgent", 7, priority=10)),
+        ])
+        assert report.completed == 2
+        batch, urgent = mgr.jobs
+        assert batch.preemptions == 1
+        assert batch.requeues == 1
+        assert batch.attempts == 1  # eviction does not charge an attempt
+        assert report.preempted == 1
+        # The urgent job ran before the batch job's re-run finished.
+        assert urgent.finish_time < batch.finish_time
+
+    def test_non_preemptible_is_safe(self):
+        mgr = self.two_tier()
+        report = mgr.run([
+            (0.0, tb_job("stubborn", 7, task_seconds=0.05, steps=4)),
+            (0.01, tb_job("urgent", 7, priority=10)),
+        ])
+        assert report.completed == 2
+        stubborn = mgr.jobs[0]
+        assert stubborn.preemptions == 0
+        # The urgent job simply waited.
+        assert mgr.jobs[1].start_time >= stubborn.finish_time
+
+    def test_equal_priority_never_preempts(self):
+        mgr = self.two_tier()
+        report = mgr.run([
+            (0.0, tb_job("first", 7, task_seconds=0.05, preemptible=True)),
+            (0.01, tb_job("second", 7)),
+        ])
+        assert report.preempted == 0
+        assert report.completed == 2
+
+    def test_select_victims_prefers_low_priority_least_work(self):
+        mgr = self.two_tier()
+
+        class FakeJob:
+            def __init__(self, jid, prio, start, nodes):
+                self.job_id = jid
+                self.start_time = start
+                self.partition = tuple(range(nodes))
+                self.spec = type("S", (), {
+                    "preemptible": True, "priority": prio, "nodes": nodes,
+                })()
+
+        old = FakeJob(1, 0, 0.0, 3)
+        young = FakeJob(2, 0, 0.5, 3)
+        high = FakeJob(3, 5, 0.1, 3)
+        mgr.running = {1: old, 2: young, 3: high}
+        blocked = FakeJob(9, 10, 0.9, 3)
+        victims = select_victims(blocked, mgr, free=0)
+        # Youngest same-priority candidate goes first; 3 nodes suffice.
+        assert [v.job_id for v in victims] == [2]
+        # Demanding more takes the older one too, never the high-prio.
+        blocked6 = FakeJob(9, 10, 0.9, 6)
+        victims = select_victims(blocked6, mgr, free=0)
+        assert [v.job_id for v in victims] == [2, 1]
+        blocked99 = FakeJob(9, 3, 0.9, 99)
+        assert select_victims(blocked99, mgr, free=0) == []
+
+    def test_preemption_thrash_dead_letters(self):
+        mgr = self.two_tier(max_preemptions=0)
+        report = mgr.run([
+            (0.0, tb_job("victim", 7, task_seconds=0.05, steps=4,
+                         preemptible=True)),
+            (0.01, tb_job("urgent", 7, priority=10)),
+        ])
+        victim = mgr.jobs[0]
+        assert victim.state is JobState.DEAD_LETTERED
+        assert "thrash" in victim.error
+        assert report.dead_lettered == 1
+        assert len(mgr.dead_letters) == 1
+        rec = mgr.dead_letters.records[0]
+        assert rec.kind == "preemption"
+        assert rec.name == "victim"
+
+
+class TestDeadLetterQueue:
+    def test_poison_job_quarantined(self):
+        # Head dies on attempt 1; attempt 2 still carries the worker
+        # failures (their offsets had not elapsed), loses all workers,
+        # and runs out of attempts -> dead-lettered, bystander fine.
+        mgr = elastic_manager(nodes=12, autoscale=False)
+        poison = tb_job(
+            "poison", 3, steps=9, task_seconds=0.05,
+            fault_tolerant=True, max_attempts=2,
+            failures=(NodeFailure(time=0.005, node=0),
+                      NodeFailure(time=0.08, node=1),
+                      NodeFailure(time=0.09, node=2)),
+        )
+        report = mgr.run([
+            (0.0, poison),
+            (0.0, tb_job("bystander", 3)),
+        ])
+        assert report.dead_lettered == 1
+        assert report.completed == 1
+        job = mgr.jobs[0]
+        assert job.state is JobState.DEAD_LETTERED
+        assert job.attempts == 2
+        rec = mgr.dead_letters.records[0]
+        assert rec.kind == "failures"
+        assert "cluster exhausted" in rec.reason
+        assert report.accounted == report.total_jobs
+
+    def test_base_manager_fails_instead_of_quarantining(self):
+        mgr = JobManager(Cluster(ClusterSpec(num_nodes=12)))
+        report = mgr.run([(0.0, tb_job(
+            "hopeless", 3, steps=9, task_seconds=0.05,
+            fault_tolerant=True, max_attempts=1,
+            failures=(NodeFailure(time=0.005, node=0),),
+        ))])
+        assert report.failed == 1
+        assert report.dead_lettered == 0
+        assert mgr.jobs[0].state is JobState.FAILED
+
+
+class TestClusterExhausted:
+    def test_all_workers_dead_does_not_crash_manager(self):
+        # Regression: both workers of an FT job die permanently.  The
+        # RecoveryError used to escape the simulation loop and kill
+        # every tenant; now it is a clean ClusterExhausted that only
+        # fails (or retries) the one job.
+        mgr = JobManager(Cluster(ClusterSpec(num_nodes=8)))
+        report = mgr.run([
+            (0.0, tb_job("victim", 3, steps=9, task_seconds=0.05,
+                         fault_tolerant=True, max_attempts=2,
+                         failures=(NodeFailure(time=0.02, node=1),
+                                   NodeFailure(time=0.02, node=2)))),
+            (0.0, tb_job("bystander", 3, tenant="t2")),
+        ])
+        assert report.completed == 2  # retry on fresh nodes succeeded
+        assert mgr.jobs[1].state is JobState.COMPLETED
+        assert report.counters.get("jobs.cluster_exhausted", 0) == 1
+
+    def test_exhaustion_with_tiny_pool_fails_cleanly(self):
+        # 3-node pool: the exhausted retries shrink the pool below the
+        # job's size, so it fails with the pool-shrank record instead
+        # of crashing the run.
+        mgr = JobManager(Cluster(ClusterSpec(num_nodes=4)))
+        report = mgr.run([
+            (0.0, tb_job("victim", 3, steps=9, task_seconds=0.05,
+                         fault_tolerant=True, max_attempts=3,
+                         failures=(NodeFailure(time=0.02, node=1),
+                                   NodeFailure(time=0.02, node=2)))),
+        ])
+        assert report.failed == 1
+        assert "pool shrank" in mgr.jobs[0].error
+
+
+class TestElasticPool:
+    def test_lifecycle(self):
+        pool = ElasticNodePool(
+            Cluster(ClusterSpec(num_nodes=8)), initial_online=3
+        )
+        assert pool.capacity == 3
+        assert pool.potential_capacity == 7
+        warmed = pool.begin_warmup(2)
+        assert len(warmed) == 2
+        assert pool.capacity == 3 and pool.warming_count == 2
+        pool.complete_warmup(warmed)
+        assert pool.capacity == 5 and pool.warming_count == 0
+        parked = pool.take_offline(1)
+        assert len(parked) == 1
+        assert pool.capacity == 4
+        assert pool.potential_capacity == 7
+
+    def test_retired_node_never_rejoins(self):
+        pool = ElasticNodePool(
+            Cluster(ClusterSpec(num_nodes=8)), initial_online=3
+        )
+        warmed = pool.begin_warmup(2)
+        pool.retire(warmed[0])
+        pool.complete_warmup(warmed)
+        assert warmed[0] not in pool.free_nodes()
+        assert warmed[1] in pool.free_nodes()
+        assert pool.potential_capacity == 6
+
+    def test_scale_down_never_takes_held_nodes(self):
+        pool = ElasticNodePool(
+            Cluster(ClusterSpec(num_nodes=8)), initial_online=5
+        )
+        part = pool.allocate(4, holder="job")
+        parked = pool.take_offline(5)
+        # Only the single free node was parkable.
+        assert len(parked) == 1
+        assert pool.held_count == 4
+        assert pool.capacity == 4
+        pool.release(part)
+        assert pool.capacity == 4  # released nodes stay online
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ElasticConfig(rate=0.0)
+        with pytest.raises(ValueError):
+            ElasticConfig(queue_limit=0)
+        with pytest.raises(ValueError):
+            ElasticConfig(scale_up_pressure=0.1, scale_down_pressure=0.5)
