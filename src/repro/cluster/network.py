@@ -85,14 +85,19 @@ class Nic:
 class _Flow:
     """One in-progress transfer under the fluid model."""
 
-    __slots__ = ("src", "dst", "remaining", "rate", "done")
+    __slots__ = ("src", "dst", "remaining", "rate", "done", "tx_nic", "rx_nic")
 
-    def __init__(self, src: int, dst: int, nbytes: float, done: Event):
+    def __init__(self, src: int, dst: int, nbytes: float, done: Event,
+                 tx_nic: Nic, rx_nic: Nic):
         self.src = src
         self.dst = dst
         self.remaining = float(nbytes)
         self.rate = 0.0
         self.done = done
+        # Endpoint NICs, resolved once: the rebalance loop reads their
+        # active counters for every flow on every epoch.
+        self.tx_nic = tx_nic
+        self.rx_nic = rx_nic
 
 
 class Network:
@@ -120,6 +125,8 @@ class Network:
         self._flows: dict[_Flow, None] = {}
         self._last_update = 0.0
         self._epoch = 0
+        #: Cached per-pair event names ("flow:s->d"); bounded by n².
+        self._flow_names: dict[tuple[int, int], str] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -148,55 +155,96 @@ class Network:
         elapsed = now - self._last_update
         if elapsed > 0:
             for flow in self._flows:
-                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+                left = flow.remaining - flow.rate * elapsed
+                flow.remaining = left if left > 0.0 else 0.0
         self._last_update = now
 
     def _rebalance(self) -> None:
-        """Recompute fair-share rates and reschedule completion timers."""
-        self._advance_flows()
+        """Recompute fair-share rates and schedule the next completion.
+
+        Rates are piecewise constant between rebalances, so only the
+        *earliest* completion in the current epoch can actually happen —
+        one authoritative timer per epoch suffices.  (The first version
+        scheduled a timer per flow per epoch; with F concurrent flows
+        that is O(F²) heap events, almost all of them stale no-ops, and
+        it dominated the fig5 profile.)  The ETA arithmetic and the
+        first-minimal tie-break below reproduce the per-flow-timer
+        behavior exactly: completions happen at bit-identical times in
+        the identical order.
+        """
         self._epoch += 1
+        now = self.sim.now
+        # Fused progress accounting (one pass over the flows instead of
+        # an ``_advance_flows`` pass followed by a rate pass): a flow's
+        # new rate depends only on the NIC counters, which progress
+        # accounting never touches, so advancing and re-rating in the
+        # same iteration computes the exact same values.
+        elapsed = now - self._last_update
+        self._last_update = now
+        advance = elapsed > 0
         bw = self.spec.bandwidth
+        faults = self.faults
+        next_flow: _Flow | None = None
+        next_eta = 0.0
+        next_when = 0.0
         for flow in self._flows:
-            tx_n = self.nics[flow.src].tx_active
-            rx_n = self.nics[flow.dst].rx_active
-            flow.rate = min(bw / max(tx_n, 1), bw / max(rx_n, 1))
-            if self.faults is not None:
+            if advance:
+                left = flow.remaining - flow.rate * elapsed
+                flow.remaining = left if left > 0.0 else 0.0
+            tx_n = flow.tx_nic.tx_active
+            rx_n = flow.rx_nic.rx_active
+            rate = bw / tx_n if tx_n > rx_n else bw / rx_n
+            if faults is not None:
                 # Degradation windows scale a flow's share; installed
                 # fault plans schedule a rebalance at each window edge,
                 # so the piecewise-constant rate stays exact.
-                flow.rate *= self.faults.bandwidth_factor(
-                    flow.src, flow.dst, self.sim.now
-                )
-        epoch = self._epoch
-        for flow in self._flows:
-            eta = flow.remaining / flow.rate if flow.rate > 0 else 0.0
-            timer = self.sim.timeout(eta)
+                rate *= faults.bandwidth_factor(flow.src, flow.dst, now)
+            flow.rate = rate
+            eta = flow.remaining / rate if rate > 0 else 0.0
+            # Compare rounded *fire times*, not raw ETAs: the per-flow
+            # timers sat on the heap keyed by ``now + eta``, so two
+            # distinct ETAs whose sums round to the same float were a
+            # tie, resolved by insertion (= iteration) order.  Strict
+            # ``<`` on the same sum reproduces that winner exactly.
+            when = now + eta
+            if next_flow is None or when < next_when:
+                next_flow = flow
+                next_eta = eta
+                next_when = when
+        if next_flow is not None:
+            timer = self.sim.timeout(next_eta)
             timer.add_callback(
-                lambda ev, f=flow, e=epoch: self._on_timer(f, e)
+                lambda ev, f=next_flow, e=self._epoch: self._on_timer(f, e)
             )
 
     def _on_timer(self, flow: _Flow, epoch: int) -> None:
-        # Stale timers (rates changed since scheduling) are ignored; the
-        # current-epoch timer is authoritative for its flow's completion.
+        # A stale timer (another rebalance happened since scheduling) is
+        # ignored; that rebalance scheduled the authoritative successor.
         if epoch != self._epoch or flow not in self._flows:
             return
         self._advance_flows()
         flow.remaining = 0.0
         self._flows.pop(flow, None)
-        self.nics[flow.src].tx_active -= 1
-        self.nics[flow.dst].rx_active -= 1
+        flow.tx_nic.tx_active -= 1
+        flow.rx_nic.rx_active -= 1
         flow.done.succeed()
         self._rebalance()
 
     def _start_flow(self, src: int, dst: int, nbytes: float) -> Event:
-        done = self.sim.event(f"flow:{src}->{dst}")
+        name = self._flow_names.get((src, dst))
+        if name is None:
+            name = f"flow:{src}->{dst}"
+            self._flow_names[(src, dst)] = name
+        done = self.sim.event(name)
         if nbytes <= 0:
             done.succeed()
             return done
-        flow = _Flow(src, dst, nbytes, done)
+        tx_nic = self.nics[src]
+        rx_nic = self.nics[dst]
+        flow = _Flow(src, dst, nbytes, done, tx_nic, rx_nic)
         self._flows[flow] = None
-        self.nics[src].tx_active += 1
-        self.nics[dst].rx_active += 1
+        tx_nic.tx_active += 1
+        rx_nic.rx_active += 1
         self._rebalance()
         return done
 
@@ -211,8 +259,10 @@ class Network:
         """
         self._check_node(src)
         self._check_node(dst)
-        if nbytes < 0:
-            raise ValueError("nbytes must be >= 0")
+        if not 0.0 <= nbytes < float("inf"):
+            # Also rejects NaN/inf: a non-finite size would poison the
+            # fluid-rate arithmetic and hang the flow engine.
+            raise ValueError(f"nbytes must be finite and >= 0, got {nbytes!r}")
 
         if src == dst:
             yield self.sim.timeout(

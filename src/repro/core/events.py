@@ -67,6 +67,9 @@ class Notification:
 #: Queue sentinel shutting down one event handler.
 _POISON = object()
 
+#: Interned per-type counter keys for the handler hot loop.
+_EVENT_COUNT_KEY = {t: f"ompc.events.{t.value}" for t in EventType}
+
 
 class EventSystem:
     """Event machinery across all cluster nodes plus the origin API.
@@ -239,7 +242,8 @@ class EventSystem:
                     return
                 self.trace.count("ompc.notifications")
                 yield self._queues[node_id].put(note)
-                self.obs.gauge_add(f"node{node_id}.evq", 1, node=node_id)
+                if self.obs.enabled:
+                    self.obs.gauge_add(f"node{node_id}.evq", 1, node=node_id)
         except Interrupt:
             return  # node crashed
 
@@ -247,21 +251,28 @@ class EventSystem:
         from repro.sim.errors import Interrupt
 
         queue = self._queues[node_id]
+        obs = self.obs
+        counts = self.trace.counters
         try:
             while True:
                 note = yield queue.get()
                 if note is _POISON:
                     return
-                self.obs.gauge_add(f"node{node_id}.evq", -1, node=node_id)
-                open_span = self.obs.begin(
-                    "ompc", f"evt:{note.event_type.value}", node_id,
-                    tag=note.tag, origin=note.origin,
-                )
+                enabled = obs.enabled
+                if enabled:
+                    obs.gauge_add(f"node{node_id}.evq", -1, node=node_id)
+                    open_span = obs.begin(
+                        "ompc", f"evt:{note.event_type.value}", node_id,
+                        tag=note.tag, origin=note.origin,
+                    )
                 if self.config.event_handler_overhead:
                     yield self.sim.timeout(self.config.event_handler_overhead)
                 yield from self._handle(node_id, note)
-                self.obs.end(open_span)
-                self.trace.count(f"ompc.events.{note.event_type.value}")
+                if enabled:
+                    obs.end(open_span)
+                # Interned counter keys: one dict lookup instead of an
+                # f-string build per handled event.
+                counts[_EVENT_COUNT_KEY[note.event_type]] += 1
         except Interrupt:
             return  # node crashed mid-event; the origin races failure_event
 
@@ -411,10 +422,11 @@ class EventSystem:
         cfg = self.config
         node = self.cluster.node(node_id)
         attempt = note.info.get("attempt", 0)
+        obs_enabled = self.obs.enabled
         kernel_span = self.obs.begin(
             "task", f"{task.name}:kernel", node_id,
             task_id=task.task_id, attempt=attempt,
-        )
+        ) if obs_enabled else None
 
         def revoked() -> bool:
             return (task.task_id, attempt) in self._cancelled_execs
@@ -466,7 +478,10 @@ class EventSystem:
             threads = min(int(task.meta.get("omp_threads", 1)), node.spec.cores)
             duration = node.compute_time(task.cost) / max(threads, 1)
             yield node.cpu.request()
-            self.obs.gauge_add(f"node{node_id}.cpu_busy", threads, node=node_id)
+            if obs_enabled:
+                self.obs.gauge_add(
+                    f"node{node_id}.cpu_busy", threads, node=node_id
+                )
             try:
                 duration = self._stretched(node_id, duration)
                 if duration > 0:
@@ -475,9 +490,10 @@ class EventSystem:
                     args = [mem.read(d.buffer.buffer_id) for d in task.deps]
                     task.fn(*args)
             finally:
-                self.obs.gauge_add(
-                    f"node{node_id}.cpu_busy", -threads, node=node_id
-                )
+                if obs_enabled:
+                    self.obs.gauge_add(
+                        f"node{node_id}.cpu_busy", -threads, node=node_id
+                    )
                 node.cpu.release()
 
         completion: Any = "done"
@@ -509,7 +525,8 @@ class EventSystem:
                 yield self.sim.timeout(fault_pages * cfg.page_fault_overhead)
             self.trace.count("ompc.page_faults", fault_pages)
             completion = ("done", tuple(written))
-        self.obs.end(kernel_span)
+        if obs_enabled:
+            self.obs.end(kernel_span)
         if self.analysis.enabled and not revoked():
             self.analysis.on_kernel(task, node_id, note.info.get("actx"))
         if not revoked():

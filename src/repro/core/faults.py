@@ -158,6 +158,58 @@ class FailureInjector:
             sim.process(crash(), name=f"failure@{failure.node}")
 
 
+class _TimerWheel:
+    """Interns same-instant timeout events (batched heartbeat timers).
+
+    Every ring sender sleeps ``interval`` from the same instant, and
+    co-started monitors arm identical deadlines: the reference kernel
+    schedules one timer event *per process per tick*, so an n-node ring
+    pays O(n) timer events every heartbeat window — the dominant event
+    source in long steady-state runs.  The wheel keys timers by their
+    absolute firing time and hands every waiter of one instant the
+    *same* event, collapsing that to O(1) timer events per tick.
+
+    Timing is preserved exactly: ``after(d)`` fires at ``now + d``,
+    the same instant a private ``sim.timeout(d)`` would fire (the key
+    *is* the firing time, so sharing never changes when anyone wakes).
+    What changes is the event *stream* — fewer timer events, and
+    co-scheduled waiters wake through one shared event rather than n
+    consecutive private ones — so the wheel is not part of the
+    digest-checked fast path; it is asserted by FT *result* equality
+    (wheel on vs off) instead, and can be disabled per ring with
+    ``use_wheel=False``.
+    """
+
+    __slots__ = ("sim", "_slots", "created", "interned")
+
+    def __init__(self, sim):
+        self.sim = sim
+        #: Absolute fire time → the shared pending timer for that instant.
+        self._slots: dict[float, Any] = {}
+        #: Diagnostics: timers actually scheduled vs. waits absorbed by
+        #: an existing timer (the tests assert interning happens).
+        self.created = 0
+        self.interned = 0
+
+    def after(self, delay: float):
+        """An event firing ``delay`` seconds from now, shared with every
+        other waiter whose wait ends at the same instant."""
+        when = self.sim.now + delay
+        ev = self._slots.get(when)
+        if ev is not None and not ev._processed:
+            self.interned += 1
+            return ev
+        if len(self._slots) >= 64:
+            # Drop fired instants so the table tracks live timers only.
+            self._slots = {
+                t: e for t, e in self._slots.items() if not e._processed
+            }
+        ev = self.sim.timeout(delay)
+        self._slots[when] = ev
+        self.created += 1
+        return ev
+
+
 class HeartbeatRing:
     """Ring-topology liveness monitoring (§3.1), loss-hardened.
 
@@ -201,6 +253,7 @@ class HeartbeatRing:
         heartbeat_bytes: float = 16.0,
         suspect_windows: int = 2,
         ping_timeout: float = 1.0 * MILLISECOND,
+        use_wheel: bool = True,
     ):
         if interval <= 0 or timeout <= interval:
             raise ValueError("need 0 < interval < timeout")
@@ -238,6 +291,11 @@ class HeartbeatRing:
         self._confirming: set[int] = set()
         self._pong_seq = itertools.count()
         self._stopped = False
+        #: Batched timers for the periodic sender/monitor waits; pings
+        #: and verdicts keep private timers (they are rare and their
+        #: deadlines are almost never aligned).
+        self.wheel = _TimerWheel(self.sim) if use_wheel else None
+        self._after = self.wheel.after if use_wheel else self.sim.timeout
 
     def start(self) -> None:
         n = self.cluster.num_nodes
@@ -282,7 +340,7 @@ class HeartbeatRing:
                 rank.isend(successor, ("hb", node, seq),
                            self.heartbeat_bytes, tag=HB_TAG)
             seq += 1
-            yield self.sim.timeout(self.interval)
+            yield self._after(self.interval)
 
     def _monitor(self, node: int):
         rank = self.comm.rank(node)
@@ -298,7 +356,7 @@ class HeartbeatRing:
                 watched_prev = watched
                 misses = 0
             req = rank.irecv(src=watched, tag=HB_TAG)
-            deadline = self.sim.timeout(self.timeout)
+            deadline = self._after(self.timeout)
             yield AnyOf(self.sim, [req.event, deadline])
             if self._stopped or self.events.node_failed(node):
                 # Withdraw the pending receive on the way out: a monitor
@@ -602,6 +660,7 @@ class FaultTolerantRuntime:
         heartbeat_interval: float = 1.0 * MILLISECOND,
         heartbeat_timeout: float = 3.5 * MILLISECOND,
         transport: TransportConfig | None = None,
+        heartbeat_wheel: bool = True,
     ):
         if cluster_spec.num_nodes < 3:
             raise ValueError(
@@ -615,6 +674,7 @@ class FaultTolerantRuntime:
         )
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_wheel = heartbeat_wheel
         #: Explicit transport override; by default the reliable transport
         #: switches on exactly when the fault plan is lossy.
         self.transport = transport
@@ -694,6 +754,7 @@ class FaultTolerantRuntime:
             timeout=self.heartbeat_timeout,
             suspect_windows=cfg.heartbeat_suspect_windows,
             ping_timeout=cfg.heartbeat_ping_timeout,
+            use_wheel=self.heartbeat_wheel,
         )
         dm = DataManager(analysis=analysis if analysis.enabled else None)
         analysis.program_begin(program)

@@ -180,7 +180,7 @@ class OMPCRuntime:
             move_span = obs.begin(
                 "data", f"move:{buf.name}", 0,
                 src=move.src, dst=move.dst, nbytes=buf.nbytes,
-            )
+            ) if obs.enabled else None
             if move.src == HOST:
                 payload = buf.data
                 yield from events.submit(move.dst, buf.buffer_id, payload, buf.nbytes)
@@ -200,7 +200,8 @@ class OMPCRuntime:
                 )
                 yield from events.submit(move.dst, buf.buffer_id, payload, buf.nbytes)
             dm.commit_move(move)
-            obs.end(move_span)
+            if move_span is not None:
+                obs.end(move_span)
 
         def perform_moves(moves: list[Move]):
             """Overlap independent buffer moves of one task."""
@@ -221,19 +222,22 @@ class OMPCRuntime:
                 if holder != HOST:
                     del_span = obs.begin(
                         "data", f"delete:{buf.name}", 0, holder=holder
-                    )
+                    ) if obs.enabled else None
                     yield from events.delete(holder, buf.buffer_id)
-                    obs.end(del_span)
+                    if del_span is not None:
+                        obs.end(del_span)
 
         # -- per-task execution ---------------------------------------------
         def run_task(task: Task):
             # §7: one head-node OpenMP thread blocks per in-flight task.
+            enabled = obs.enabled
             wait_span = obs.begin(
                 "task", f"{task.name}:wait-slot", 0, task_id=task.task_id
-            )
+            ) if enabled else None
             yield slots.request()
-            obs.end(wait_span)
-            obs.gauge_add("head.inflight", 1)
+            if enabled:
+                obs.end(wait_span)
+                obs.gauge_add("head.inflight", 1)
             analysis.task_begin(task)
             start = sim.now
             try:
@@ -248,7 +252,8 @@ class OMPCRuntime:
                     yield from run_target(task, node)
             finally:
                 slots.release()
-                obs.gauge_add("head.inflight", -1)
+                if enabled:
+                    obs.gauge_add("head.inflight", -1)
             result.task_intervals[task.task_id] = (start, sim.now)
             trace.record("task", task.name, start, sim.now)
             analysis.task_end(task)
@@ -306,31 +311,35 @@ class OMPCRuntime:
             for mv in moves:
                 # A fetch logically reads the buffer on the task's behalf.
                 analysis.on_move(task, mv.buffer)
+            enabled = obs.enabled
             fetch_span = obs.begin(
                 "task", f"{task.name}:fetch", 0,
                 target=node, moves=len(moves), allocs=len(allocs),
-            )
+            ) if enabled else None
             for buf in allocs:
                 yield from events.alloc(node, buf.buffer_id, payload=buf.data,
                                         nbytes=buf.nbytes)
                 dm.commit_alloc(buf, node)
             yield from perform_moves(moves)
-            obs.end(fetch_span)
+            if enabled:
+                obs.end(fetch_span)
             exec_span = obs.begin(
                 "task", f"{task.name}:execute", 0, target=node
-            )
+            ) if enabled else None
             detected = yield from events.execute(node, task)
-            obs.end(exec_span)
+            if enabled:
+                obs.end(exec_span)
             commit_span = obs.begin(
                 "task", f"{task.name}:commit", 0, target=node
-            )
+            ) if enabled else None
             stale = dm.commit_task_done(
                 task,
                 node,
                 written_ids=set(detected) if detected is not None else None,
             )
             yield from perform_deletes(stale)
-            obs.end(commit_span)
+            if enabled:
+                obs.end(commit_span)
 
         # -- main process on the head node ------------------------------------
         def main():

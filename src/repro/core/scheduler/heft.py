@@ -30,6 +30,8 @@ from repro.core.scheduler.base import Schedule, Scheduler
 from repro.omp.task import Task, TaskKind
 from repro.omp.taskgraph import TaskGraph
 
+_INF = float("inf")
+
 
 def shared_bytes(producer: Task, consumer: Task) -> float:
     """Bytes flowing along the dependence edge ``producer → consumer``."""
@@ -50,7 +52,8 @@ class _SlotTimeline:
         for begin, end in self._busy:
             if start + duration <= begin:
                 break
-            start = max(start, end)
+            if end > start:
+                start = end
         return start
 
     def insert(self, start: float, end: float) -> None:
@@ -72,8 +75,14 @@ class _NodeTimeline:
         self._slots: list[_SlotTimeline] = [_SlotTimeline()]
 
     def earliest_start(self, ready: float, duration: float) -> float:
-        best = min(s.earliest_start(ready, duration) for s in self._slots)
-        if best > ready and len(self._slots) < self._cores:
+        best = None
+        for s in self._slots:
+            est = s.earliest_start(ready, duration)
+            if est <= ready:
+                return est  # no slot can beat the ready time
+            if best is None or est < best:
+                best = est
+        if len(self._slots) < self._cores:
             return ready  # a fresh core can take it immediately
         return best
 
@@ -207,21 +216,6 @@ class HeftScheduler(Scheduler):
             # materialize an empty entry per (task, node) probe.
             staged = host_staging.get(task.task_id, 0.0)
             preds = pred_bytes.get(task.task_id, [])
-            candidates: list[tuple[float, float, int]] = []  # (EFT, EST, node)
-            for node in workers:
-                ready = 0.0
-                if staged:
-                    ready = mean_comm(staged)
-                for pred, nbytes in preds:
-                    pred_finish = planned[pred.task_id][1]
-                    if assignment[pred.task_id] != node:
-                        pred_finish += net.latency + nbytes / net.bandwidth
-                    ready = max(ready, pred_finish)
-                duration = task.cost / speeds[node]
-                est = timelines[node].earliest_start(ready, duration)
-                candidates.append((est + duration, est, node))
-
-            best_eft = min(c[0] for c in candidates)
             affinity = task.meta.get("affinity")
             home = affinity_home.get(affinity) if affinity is not None else None
             # A task with no predecessors and no host staging moves no
@@ -231,17 +225,115 @@ class HeftScheduler(Scheduler):
                 (mean_comm(nbytes) for _p, nbytes in preds),
                 default=mean_comm(staged) if staged else 0.0,
             )
-            tol = best_eft * 1e-9 + 1e-15
-            if home is not None:
-                tol += self.affinity_stickiness * input_comm
-            tied = [c for c in candidates if c[0] <= best_eft + tol]
-            # Tie order: affinity home first, then least-loaded node (so
-            # independent tasks fan out instead of packing into the
-            # lowest node's free slots), then EFT/EST/node id.
-            eft, est, node = min(
-                tied,
-                key=lambda c: (c[2] != home, load[c[2]], c[0], c[1], c[2]),
+            stick = (
+                self.affinity_stickiness * input_comm
+                if home is not None else 0.0
             )
+
+            # EST lower bound per node: the timeline can only delay a
+            # task past its ready time, so ``ready + duration`` bounds
+            # the node's EFT from below.  Scanning nodes in lower-bound
+            # order lets the selection stop as soon as no remaining node
+            # can still make the tie set — the timeline walk (the O(e*p)
+            # inner loop's expensive part) then runs for a handful of
+            # contenders instead of every node.  The surviving candidate
+            # set, and therefore the choice, is exactly that of the
+            # full scan.
+            ready0 = mean_comm(staged) if staged else 0.0
+            bounds: list[tuple[float, float, float, int]] = []
+            lb_min = _INF
+            home_bound: tuple[float, float, float, int] | None = None
+            for node in workers:
+                ready = ready0
+                for pred, nbytes in preds:
+                    pred_finish = planned[pred.task_id][1]
+                    if assignment[pred.task_id] != node:
+                        pred_finish += net.latency + nbytes / net.bandwidth
+                    if pred_finish > ready:
+                        ready = pred_finish
+                duration = task.cost / speeds[node]
+                lb = ready + duration
+                bounds.append((lb, ready, duration, node))
+                if lb < lb_min:
+                    lb_min = lb
+                if node == home:
+                    home_bound = bounds[-1]
+
+            # Home fast path: ``best_eft >= lb_min`` and the tolerance
+            # grows with ``best_eft``, so a home EFT inside the window
+            # anchored at ``lb_min`` is inside the real window too — and
+            # the tie key prefers home over every other member, making
+            # the rest of the scan irrelevant.  (On affinity-seeded
+            # graphs this resolves almost every task with one timeline
+            # walk.)
+            if home_bound is not None:
+                _lb, ready, duration, _node = home_bound
+                est = timelines[home].earliest_start(ready, duration)
+                home_eft = est + duration
+                if home_eft <= lb_min + lb_min * 1e-9 + 1e-15 + stick:
+                    load[home] += 1
+                    affinity_home[affinity] = home
+                    assignment[task.task_id] = home
+                    planned[task.task_id] = (est, home_eft)
+                    timelines[home].insert(est, home_eft)
+                    continue
+
+            bounds.sort(key=lambda b: b[0])
+
+            # Phase 1 — find the global best EFT, evaluating timelines
+            # only while a node's lower bound can still beat the running
+            # best (``best_eft`` only decreases and the tolerance grows
+            # with it, so a bound that misses the running window also
+            # misses the final one).  The home node is always evaluated:
+            # the tie key prefers it over every other member, so when it
+            # lands in the tie window no other member matters.
+            evaluated: dict[int, tuple[float, float, int]] = {}
+            best_eft = _INF
+            home_cand: tuple[float, float, int] | None = None
+            for lb, ready, duration, node in bounds:
+                if lb > best_eft + best_eft * 1e-9 + 1e-15:
+                    break
+                est = timelines[node].earliest_start(ready, duration)
+                eft = est + duration
+                evaluated[node] = (eft, est, node)
+                if eft < best_eft:
+                    best_eft = eft
+            tol = best_eft * 1e-9 + 1e-15 + stick
+            if home is not None:
+                home_cand = evaluated.get(home)
+                if home_cand is None:
+                    for lb, ready, duration, node in bounds:
+                        if node == home:
+                            est = timelines[home].earliest_start(
+                                ready, duration
+                            )
+                            home_cand = (est + duration, est, home)
+                            evaluated[home] = home_cand
+                            break
+
+            if home_cand is not None and home_cand[0] <= best_eft + tol:
+                eft, est, node = home_cand
+            else:
+                # Phase 2 — the home is absent or out of the window, so
+                # the full tie set decides.  Evaluate the nodes whose
+                # lower bound still fits (with the stickiness slack,
+                # which widens the window even among non-home nodes).
+                for lb, ready, duration, node in bounds:
+                    if lb > best_eft + tol:
+                        break
+                    if node not in evaluated:
+                        est = timelines[node].earliest_start(ready, duration)
+                        evaluated[node] = (est + duration, est, node)
+                tied = [
+                    c for c in evaluated.values() if c[0] <= best_eft + tol
+                ]
+                # Tie order: affinity home first, then least-loaded node
+                # (so independent tasks fan out instead of packing into
+                # the lowest node's free slots), then EFT/EST/node id.
+                eft, est, node = min(
+                    tied,
+                    key=lambda c: (c[2] != home, load[c[2]], c[0], c[1], c[2]),
+                )
             load[node] += 1
             if affinity is not None:
                 affinity_home[affinity] = node

@@ -43,6 +43,7 @@ from repro.analysis.hooks import NULL_ANALYSIS
 from repro.cluster.machine import Cluster
 from repro.mpi.datatypes import Message
 from repro.mpi.errors import MpiError
+from repro.mpi.matchtable import MatchStore
 from repro.mpi.request import Request
 from repro.sim.primitives import AnyOf
 from repro.sim.resources import Store
@@ -151,7 +152,13 @@ class MpiWorld:
         key = (rank, comm_id)
         store = self._queues.get(key)
         if store is None:
-            store = Store(self.sim, name=f"mpi.q{rank}.c{comm_id}")
+            # The fast kernel matches through slotted (src, tag) tables;
+            # the reference kernel keeps the predicate-scan Store.  Both
+            # produce bit-identical event streams (digest-tested).
+            if self.sim._fastpath:
+                store = MatchStore(self.sim, name=f"mpi.q{rank}.c{comm_id}")
+            else:
+                store = Store(self.sim, name=f"mpi.q{rank}.c{comm_id}")
             self._queues[key] = store
         return store
 
@@ -230,23 +237,31 @@ class Communicator:
     def _deliver(self, msg: Message):
         sim = self.mpi.sim
         obs = self.mpi.obs
-        open_span = obs.begin(
-            "mpi", f"send t{msg.tag}", msg.src,
-            dst=msg.dst, nbytes=msg.nbytes, seq=msg.seq,
-        )
+        # One ``enabled`` check instead of four no-op dispatches (and
+        # their f-string arguments) per message — this generator runs
+        # once per point-to-point send, the hottest MPI path there is.
+        enabled = obs.enabled
+        if enabled:
+            open_span = obs.begin(
+                "mpi", f"send t{msg.tag}", msg.src,
+                dst=msg.dst, nbytes=msg.nbytes, seq=msg.seq,
+            )
         if self.mpi.overhead:
             yield sim.timeout(self.mpi.overhead)
         yield from self.mpi.cluster.network.transfer(msg.src, msg.dst, msg.nbytes)
         if self.mpi._dropped(msg.src, msg.dst):
-            obs.end(open_span, dropped=True)
+            if enabled:
+                obs.end(open_span, dropped=True)
             return  # lost in the fabric; fire-and-forget senders never know
-        flow = obs.new_flow()
-        obs.end(open_span, flow_id=flow, flow_phase="s")
+        if enabled:
+            flow = obs.new_flow()
+            obs.end(open_span, flow_id=flow, flow_phase="s")
         yield self.mpi._queue(msg.dst, self.comm_id).put(msg)
-        obs.instant(
-            "mpi", f"recv t{msg.tag}", msg.dst,
-            flow_id=flow, flow_phase="f", src=msg.src,
-        )
+        if enabled:
+            obs.instant(
+                "mpi", f"recv t{msg.tag}", msg.dst,
+                flow_id=flow, flow_phase="f", src=msg.src,
+            )
 
     # -- reliable transport ---------------------------------------------------
     def _deliver_reliable(self, msg: Message):
@@ -258,6 +273,7 @@ class Communicator:
         """
         sim = self.mpi.sim
         obs = self.mpi.obs
+        enabled = obs.enabled
         tc = self.transport
         net = self.mpi.cluster.network
         key = (msg.src, msg.dst, msg.seq)
@@ -266,31 +282,35 @@ class Communicator:
         # The wait window covers the ack's own uncontended round trip.
         rto = tc.rto + 2 * net.transfer_time(msg.dst, msg.src, tc.ack_bytes)
         flow: int | None = None
+        accepted_once = False
         try:
             for attempt in range(tc.max_retries + 1):
                 if attempt:
                     self.mpi.stats["retransmissions"] += 1
-                open_span = obs.begin(
-                    "mpi", f"send t{msg.tag}", msg.src,
-                    dst=msg.dst, nbytes=msg.nbytes, seq=msg.seq,
-                    attempt=attempt,
-                )
+                if enabled:
+                    open_span = obs.begin(
+                        "mpi", f"send t{msg.tag}", msg.src,
+                        dst=msg.dst, nbytes=msg.nbytes, seq=msg.seq,
+                        attempt=attempt,
+                    )
                 if self.mpi.overhead:
                     yield sim.timeout(self.mpi.overhead)
                 yield from net.transfer(msg.src, msg.dst, msg.nbytes)
                 if not self.mpi._dropped(msg.src, msg.dst):
                     # Only the first accepted transmission carries the
                     # flow arrow; duplicates are suppressed downstream.
-                    fresh = flow is None
-                    if fresh:
+                    fresh = not accepted_once
+                    accepted_once = True
+                    if fresh and enabled:
                         flow = obs.new_flow()
                     self._transport_accept(msg, flow if fresh else None)
-                    obs.end(
-                        open_span,
-                        flow_id=flow if fresh else None,
-                        flow_phase="s" if fresh else None,
-                    )
-                else:
+                    if enabled:
+                        obs.end(
+                            open_span,
+                            flow_id=flow if fresh else None,
+                            flow_phase="s" if fresh else None,
+                        )
+                elif enabled:
                     obs.end(open_span, dropped=True)
                 if ack.triggered:
                     return
@@ -308,18 +328,22 @@ class Communicator:
     def _transport_accept(self, msg: Message, flow_id: int | None = None) -> None:
         """Receiver-side transport: dedup, enqueue, and schedule the ack."""
         obs = self.mpi.obs
+        enabled = obs.enabled
         key = (msg.src, msg.seq)
         if key in self._delivered:
             self.mpi.stats["duplicates"] += 1
-            obs.instant("mpi", f"dup t{msg.tag}", msg.dst, src=msg.src)
+            if enabled:
+                obs.instant("mpi", f"dup t{msg.tag}", msg.dst, src=msg.src)
         else:
             self._delivered.add(key)
             self.mpi._queue(msg.dst, self.comm_id).put(msg)
-            obs.instant(
-                "mpi", f"recv t{msg.tag}", msg.dst,
-                flow_id=flow_id, flow_phase="f" if flow_id is not None else None,
-                src=msg.src,
-            )
+            if enabled:
+                obs.instant(
+                    "mpi", f"recv t{msg.tag}", msg.dst,
+                    flow_id=flow_id,
+                    flow_phase="f" if flow_id is not None else None,
+                    src=msg.src,
+                )
         self.mpi.sim.process(
             self._send_ack(msg), name=f"mpi-ack:{msg.dst}->{msg.src}"
         )
@@ -327,9 +351,12 @@ class Communicator:
     def _send_ack(self, msg: Message):
         sim = self.mpi.sim
         tc = self.transport
-        open_span = self.mpi.obs.begin(
-            "mpi", f"ack t{msg.tag}", msg.dst, dst=msg.src, seq=msg.seq
-        )
+        obs = self.mpi.obs
+        enabled = obs.enabled
+        if enabled:
+            open_span = obs.begin(
+                "mpi", f"ack t{msg.tag}", msg.dst, dst=msg.src, seq=msg.seq
+            )
         if self.mpi.overhead:
             yield sim.timeout(self.mpi.overhead)
         yield from self.mpi.cluster.network.transfer(
@@ -337,7 +364,8 @@ class Communicator:
         )
         self.mpi.stats["acks"] += 1
         dropped = self.mpi._dropped(msg.dst, msg.src)
-        self.mpi.obs.end(open_span, dropped=dropped)
+        if enabled:
+            obs.end(open_span, dropped=dropped)
         if dropped:
             return  # the ack itself was lost; the sender will retransmit
         ack = self._ack_waiters.get((msg.src, msg.dst, msg.seq))
@@ -351,15 +379,18 @@ class Communicator:
         if tag < 0 and tag != ANY_TAG:
             raise MpiError(f"recv tag must be >= 0 or ANY_TAG, got {tag}")
 
-        def match(msg: Message) -> bool:
-            if src != ANY_SOURCE and msg.src != src:
-                return False
-            if tag != ANY_TAG and msg.tag != tag:
-                return False
-            return True
-
         store = self.mpi._queue(dst, self.comm_id)
-        get = store.get(match)
+        if type(store) is MatchStore:
+            get = store.get_match(src, tag)
+        else:
+            def match(msg: Message) -> bool:
+                if src != ANY_SOURCE and msg.src != src:
+                    return False
+                if tag != ANY_TAG and msg.tag != tag:
+                    return False
+                return True
+
+            get = store.get(match)
         request = Request(get, "recv", canceller=lambda: store.cancel(get))
         if self.mpi.analysis.enabled and not self.service:
             self.mpi.analysis.mpi.on_irecv(

@@ -28,7 +28,11 @@ class Message:
     seq: int = 0
 
     def __post_init__(self) -> None:
-        if self.nbytes < 0:
-            raise ValueError("nbytes must be >= 0")
+        if not 0 <= self.nbytes < float("inf"):
+            # The chained comparison also rejects NaN and +inf, which
+            # would otherwise poison transfer-time arithmetic downstream.
+            if self.nbytes < 0:
+                raise ValueError("nbytes must be >= 0")
+            raise ValueError(f"nbytes must be finite, got {self.nbytes!r}")
         if self.tag < 0:
             raise ValueError("tag must be >= 0")

@@ -20,6 +20,8 @@ its inputs.
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from collections.abc import Generator
 from typing import Any, Callable
 
@@ -28,10 +30,27 @@ from repro.sim.errors import DeadlockError, Interrupt, SimulationError
 # Sentinel distinguishing "not yet triggered" from "triggered with None".
 _PENDING = object()
 
+_INF = float("inf")
+
 #: Priority for normal events.
 NORMAL = 1
 #: Priority for urgent events (processed before normal ones at equal time).
 URGENT = 0
+
+#: Default for :class:`Simulator`'s two-lane fast queue.  The fast path
+#: produces a bit-identical event stream (same ``(time, priority, seq)``
+#: processing order) — ``REPRO_SIM_FASTPATH=0`` selects the reference
+#: single-heap kernel, which the digest property tests compare against.
+_FASTPATH_DEFAULT = os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+
+
+def set_fastpath_default(enabled: bool) -> bool:
+    """Set the process-wide default for new simulators; returns the old
+    value.  Test helper — production code leaves the default alone."""
+    global _FASTPATH_DEFAULT
+    old = _FASTPATH_DEFAULT
+    _FASTPATH_DEFAULT = bool(enabled)
+    return old
 
 
 class Event:
@@ -132,16 +151,20 @@ class Process(Event):
     or, if nobody waits, aborts the simulation).
     """
 
-    __slots__ = ("_gen", "_waiting_on")
+    __slots__ = ("_gen", "_waiting_on", "_started")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         if not isinstance(gen, Generator):
             raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
         super().__init__(sim, name or getattr(gen, "__name__", "process"))
         self._gen = gen
-        self._waiting_on: Event | None = None
         # Bootstrap: resume the generator as soon as the loop starts.
-        start = Event(sim, f"start:{self.name}")
+        # (``_waiting_on`` tracks the event whose fire may resume us;
+        # ``_resume`` ignores fires from any other event, which is what
+        # makes ``interrupt`` O(1) — see below.)
+        start = Event(sim, "start")
+        self._waiting_on: Event | None = start
+        self._started = False
         start.add_callback(self._resume)
         start.succeed()
 
@@ -159,28 +182,37 @@ class Process(Event):
         """
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished process {self!r}")
-        target = self._waiting_on
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self._waiting_on = None
+        # O(1) detach: instead of scanning the target's callback list,
+        # just forget it — when the stale event eventually fires,
+        # ``_resume`` sees it is no longer ``_waiting_on`` and drops the
+        # value.  (With many waiters on one event — failure races — the
+        # old ``list.remove`` made preemption storms O(waiters²).)
+        # A process that has not started yet must keep its bootstrap
+        # resume: the generator has to reach its first yield before the
+        # Interrupt can be thrown into it.
+        if self._started:
+            self._waiting_on = None
         kick = Event(self.sim, f"interrupt:{self.name}")
         kick.add_callback(lambda ev: self._advance(throw=Interrupt(cause)))
         kick.succeed()
 
     # -- generator driving -------------------------------------------------
     def _resume(self, ev: Event) -> None:
+        if ev is not self._waiting_on:
+            return  # detached by interrupt (or a stale wake); drop it
         self._waiting_on = None
-        if ev.ok:
-            self._advance(send=ev.value)
+        # Direct slot reads: ``ev`` is being processed, so it is
+        # necessarily triggered — the property guards would only burn
+        # time on the hottest path in the kernel.
+        if ev._ok:
+            self._advance(send=ev._value)
         else:
-            self._advance(throw=ev.value)
+            self._advance(throw=ev._value)
 
     def _advance(self, send: Any = None, throw: BaseException | None = None) -> None:
-        if self.triggered:  # interrupted after completion race; ignore
+        if self._value is not _PENDING:  # interrupted after completion; ignore
             return
+        self._started = True
         self.sim._active_process = self
         try:
             if throw is not None:
@@ -212,19 +244,43 @@ class Process(Event):
         if nxt.sim is not self.sim:
             raise SimulationError("yielded event belongs to a different simulator")
         self._waiting_on = nxt
-        nxt.add_callback(self._resume)
+        # Inlined add_callback (one call frame per yield saved).
+        callbacks = nxt.callbacks
+        if callbacks is None:
+            self._resume(nxt)
+        else:
+            callbacks.append(self._resume)
 
 
 class Simulator:
-    """Deterministic single-threaded discrete-event simulator."""
+    """Deterministic single-threaded discrete-event simulator.
 
-    def __init__(self):
+    Two queue implementations share one semantic: events are processed
+    in ``(time, priority, seq)`` order.  The reference kernel keeps a
+    single binary heap.  The fast kernel (default; see
+    ``REPRO_SIM_FASTPATH``) adds a FIFO lane for events scheduled *now*
+    at NORMAL priority — the overwhelmingly common case — which are
+    appended/popped in O(1) instead of O(log n); because ``seq`` is
+    globally monotone, the lane is already sorted by ``(time, seq)`` and
+    a single tuple comparison merges it exactly against the heap.  Both
+    kernels process the bit-identical event sequence (asserted by the
+    digest property tests).
+    """
+
+    def __init__(self, fastpath: bool | None = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
+        #: Fast lane: ``(time, seq, event)`` for immediate NORMAL events.
+        self._fast: deque[tuple[float, int, Event]] = deque()
+        self._fastpath = _FASTPATH_DEFAULT if fastpath is None else bool(fastpath)
         self._seq = 0
         self._active_process: Process | None = None
         self._crash: BaseException | None = None
         self._processes: list[Process] = []
+        self._compact_at = 64
+        #: Optional test hook: called with ``(time, priority, event)``
+        #: for every processed event (the digest tests' tap).
+        self._event_tap: Callable[[float, int, Event], None] | None = None
 
     @property
     def now(self) -> float:
@@ -241,26 +297,66 @@ class Simulator:
 
     def process(self, gen: Generator, name: str = "") -> Process:
         proc = Process(self, gen, name)
+        # Amortized compaction keeps ``_processes`` proportional to the
+        # number of *live* processes (deadlock reporting only needs
+        # those) instead of retaining every process ever created —
+        # multi-job/overload runs used to leak all of them.
+        if len(self._processes) >= self._compact_at:
+            self._processes = [p for p in self._processes if p.is_alive]
+            self._compact_at = max(64, 2 * len(self._processes))
         self._processes.append(proc)
         return proc
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that fires ``delay`` seconds from now."""
-        if delay < 0:
-            raise ValueError(f"negative delay {delay!r}")
+        if not 0.0 <= delay < _INF:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay!r}")
+            raise ValueError(f"non-finite delay {delay!r}")
         ev = Event(self, "timeout")
-        ev.succeed(value, delay=delay)
+        # Inlined succeed() + _schedule() — this is the kernel's hottest
+        # constructor, so skip the already-triggered check and the extra
+        # call frames.
+        ev._value = value
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0 and self._fastpath:
+            self._fast.append((self._now, seq, ev))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, NORMAL, seq, ev))
         return ev
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+        if delay != 0.0 and not 0.0 < delay < _INF:
+            # One chained comparison rejects negative, NaN, and ±inf —
+            # a NaN delay used to slip past ``delay < 0`` and silently
+            # corrupt the heap invariant.
+            raise ValueError(f"delay must be finite and >= 0, got {delay!r}")
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0 and priority == NORMAL and self._fastpath:
+            self._fast.append((self._now, seq, event))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, priority, seq, event))
 
     # -- main loop -------------------------------------------------------------
+    def _pop_next(self) -> tuple[float, int, Event]:
+        """Remove and return the next ``(time, priority, event)``."""
+        fast = self._fast
+        if fast:
+            when, seq, event = fast[0]
+            if self._heap and self._heap[0] < (when, NORMAL, seq):
+                when, prio, _seq, event = heapq.heappop(self._heap)
+                return when, prio, event
+            fast.popleft()
+            return when, NORMAL, event
+        when, prio, _seq, event = heapq.heappop(self._heap)
+        return when, prio, event
+
     def step(self) -> None:
         """Process the single next event."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, event = self._pop_next()
         self._now = when
         event._process()
         if self._crash is not None:
@@ -286,13 +382,45 @@ class Simulator:
             if stop_at < self._now:
                 raise ValueError("until is in the past")
 
-        while self._heap:
-            if stop_ev is not None and stop_ev.processed:
+        heap = self._heap
+        fast = self._fast
+        heappop = heapq.heappop
+        while fast or heap:
+            if stop_ev is not None and stop_ev._processed:
                 break
-            if stop_at is not None and self._heap[0][0] > stop_at:
+            # Peek the earliest entry across both lanes (the fast lane
+            # holds NORMAL-priority events and is sorted by (time, seq)).
+            take_fast = False
+            if fast:
+                when, fseq, event = fast[0]
+                if heap and heap[0] < (when, NORMAL, fseq):
+                    when = heap[0][0]
+                    prio = heap[0][1]
+                else:
+                    take_fast = True
+                    prio = NORMAL
+            else:
+                when = heap[0][0]
+                prio = heap[0][1]
+            if stop_at is not None and when > stop_at:
                 self._now = stop_at
                 return self._now
-            self.step()
+            if take_fast:
+                fast.popleft()
+            else:
+                event = heappop(heap)[3]
+            self._now = when
+            if self._event_tap is not None:
+                self._event_tap(when, prio, event)
+            # Inlined Event._process() — one call frame per event saved.
+            event._processed = True
+            callbacks = event.callbacks
+            event.callbacks = None
+            for cb in callbacks:  # type: ignore[union-attr]
+                cb(event)
+            if self._crash is not None:
+                crash, self._crash = self._crash, None
+                raise crash
 
         if stop_ev is not None:
             if not stop_ev.triggered:

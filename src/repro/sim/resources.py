@@ -28,6 +28,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "resource"
+        self._req_name = "request:" + self.name
         self._in_use = 0
         self._queue: deque[Event] = deque()
 
@@ -44,10 +45,14 @@ class Resource:
         return len(self._queue)
 
     def request(self) -> Event:
-        ev = self.sim.event(f"request:{self.name}")
+        ev = self.sim.event(self._req_name)
         if self._in_use < self.capacity:
             self._in_use += 1
-            ev.succeed(self)
+            # Inlined ev.succeed(self): the event is fresh, so the
+            # already-triggered guard cannot fire — this is one of the
+            # kernel's hottest grant paths.
+            ev._value = self
+            self.sim._schedule(ev)
         else:
             self._queue.append(ev)
         return ev
@@ -58,7 +63,8 @@ class Resource:
         if self._queue:
             # Hand the slot directly to the next waiter; in_use unchanged.
             nxt = self._queue.popleft()
-            nxt.succeed(self)
+            nxt._value = self
+            self.sim._schedule(nxt)
         else:
             self._in_use -= 1
 
@@ -104,6 +110,8 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "store"
+        self._put_name = "put:" + self.name
+        self._get_name = "get:" + self.name
         self._items: deque[Any] = deque()
         self._getters: deque[tuple[Event, Callable[[Any], bool] | None]] = deque()
         self._putters: deque[tuple[Event, Any]] = deque()
@@ -117,17 +125,18 @@ class Store:
         return tuple(self._items)
 
     def put(self, item: Any) -> Event:
-        ev = self.sim.event(f"put:{self.name}")
+        ev = self.sim.event(self._put_name)
         if self.capacity is not None and len(self._items) >= self.capacity:
             self._putters.append((ev, item))
         else:
             self._items.append(item)
-            ev.succeed(item)
+            ev._value = item  # inlined succeed() on a fresh event
+            self.sim._schedule(ev)
             self._dispatch()
         return ev
 
     def get(self, filter: Callable[[Any], bool] | None = None) -> Event:
-        ev = self.sim.event(f"get:{self.name}")
+        ev = self.sim.event(self._get_name)
         self._getters.append((ev, filter))
         self._dispatch()
         return ev
@@ -162,7 +171,8 @@ class Store:
                     if pred is None or pred(item):
                         del self._items[ii]
                         del self._getters[gi]
-                        gev.succeed(item)
+                        gev._value = item  # inlined succeed()
+                        self.sim._schedule(gev)
                         progressed = True
                         break
                 if progressed:
