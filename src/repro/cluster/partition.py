@@ -108,6 +108,12 @@ class _FaultsView:
     def stretched(self, node: int, start: float, duration: float) -> float:
         return self._faults.stretched(self._map[node], start, duration)
 
+    def capacity_factor(self, node: int, now: float) -> float:
+        return self._faults.capacity_factor(self._map[node], now)
+
+    def fetch_fails(self, node: int, now: float) -> bool:
+        return self._faults.fetch_fails(self._map[node], now)
+
 
 class _NetworkView:
     """The shared fabric addressed by virtual node ids.

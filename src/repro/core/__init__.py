@@ -20,6 +20,7 @@ from repro.core.faultmodel import (
     FaultPlan,
     LinkDegradation,
     LinkLoss,
+    MemoryPressure,
     NodeHang,
     NodeStall,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "LogRecord",
     "LinkDegradation",
     "LinkLoss",
+    "MemoryPressure",
     "MinLoadScheduler",
     "NodeFailure",
     "NodeHang",

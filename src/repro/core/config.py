@@ -95,6 +95,22 @@ class OMPCConfig:
     #: essential once several jobs partition one cluster and none may
     #: assume it owns infinite device memory.
     device_memory_bytes: float = 0.0
+    #: Tiered-store eviction policy (repro.core.tiering).  ``"none"``
+    #: keeps the PR 4 behavior — overflow is a fatal
+    #: ``DeviceMemoryError``.  ``"lru"`` / ``"cost"`` turn overflow into
+    #: graceful degradation: dirty sole copies spill device→host
+    #: (write-behind), clean replicas are dropped, and evicted buffers
+    #: are re-fetched read-through when needed again.  Requires a finite
+    #: ``device_memory_bytes``.
+    eviction_policy: str = "none"
+    #: Read-through re-fetch retry budget: how many times a failed fetch
+    #: of an evicted buffer is retried (exponential backoff) before the
+    #: run gives up.  Fetches only fail under fault plans with a
+    #: ``MemoryPressure`` arm carrying ``fetch_fail_prob > 0``.
+    mem_fetch_retries: int = 4
+    #: Base delay of the exponential backoff between fetch retries
+    #: (doubled on every attempt).
+    mem_fetch_backoff: float = 0.2 * MILLISECOND
 
     # -- transient-fault tolerance (repro.core.faultmodel extension) --------
     #: Head-side checkpoint period for written buffers; 0 disables
@@ -158,6 +174,14 @@ class OMPCConfig:
             raise ValueError("page_fault_overhead must be >= 0")
         if self.device_memory_bytes < 0:
             raise ValueError("device_memory_bytes must be >= 0 (0 = unlimited)")
+        if self.eviction_policy not in ("none", "lru", "cost"):
+            raise ValueError(
+                "eviction_policy must be 'none', 'lru', or 'cost'"
+            )
+        if self.mem_fetch_retries < 0:
+            raise ValueError("mem_fetch_retries must be >= 0")
+        if self.mem_fetch_backoff < 0:
+            raise ValueError("mem_fetch_backoff must be >= 0")
         if self.checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0 (0 = off)")
         if self.straggler_factor < 0:

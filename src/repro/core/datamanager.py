@@ -74,6 +74,95 @@ class DataManager:
         #: Correctness-analysis sink (see :mod:`repro.analysis`): fed
         #: mapping events and read-before-map checks; ``None`` disables.
         self.analysis = analysis
+        #: Tiered-store director (:mod:`repro.core.tiering`); ``None``
+        #: keeps the hard-overflow behavior.  Installed via
+        #: :meth:`configure_tiering` by runtimes with
+        #: ``eviction_policy != "none"``.
+        self.tiering = None
+
+    # -- tiered store (repro.core.tiering) ---------------------------------
+    def configure_tiering(
+        self,
+        capacities: dict[int, float],
+        policy,
+        capacity_fn=None,
+        refetch_cost_fn=None,
+    ) -> None:
+        """Enable the tiered device→host→remote store.
+
+        ``capacities`` maps worker node id → device capacity in bytes;
+        ``policy`` is an :class:`repro.core.tiering.EvictionPolicy`.
+        """
+        from repro.core.tiering import MemoryDirector
+
+        self.tiering = MemoryDirector(
+            capacities,
+            policy,
+            capacity_fn=capacity_fn,
+            refetch_cost_fn=refetch_cost_fn,
+        )
+
+    def pin(self, buffer_ids) -> None:
+        """Protect buffers of an in-flight task frame from eviction."""
+        if self.tiering is not None:
+            self.tiering.pin(buffer_ids)
+
+    def unpin(self, buffer_ids) -> None:
+        if self.tiering is not None:
+            self.tiering.unpin(buffer_ids)
+
+    def mem_charge(self, buffer: Buffer, node: int) -> None:
+        """Account device bytes the head committed to materializing."""
+        if self.tiering is not None:
+            self.tiering.charge(node, buffer)
+
+    def mem_release(self, buffer: Buffer, node: int) -> None:
+        """Account a completed physical DELETE on ``node``."""
+        if self.tiering is not None:
+            self.tiering.release(node, buffer.buffer_id)
+
+    def _is_sole_copy(self, buffer: Buffer, node: int) -> bool:
+        """True when ``node`` holds the only valid copy (dirty: eviction
+        must spill to the host, not drop)."""
+        return self._st(buffer).locations == {node}
+
+    def plan_evictions(
+        self, task: Task, node: int, incoming: list[Buffer]
+    ):
+        """Plan evictions to make room for ``incoming`` on ``node``.
+
+        Delegates to the director (see
+        :meth:`repro.core.tiering.MemoryDirector.plan`); charges the
+        newcomers on success.  No-op (empty list) without tiering.
+        """
+        if self.tiering is None or not self.tiering.manages(node):
+            return []
+        self.tiering.touch(
+            node, (d.buffer.buffer_id for d in task.deps)
+        )
+        return self.tiering.plan(task, node, incoming, self._is_sole_copy)
+
+    def commit_evict(self, buffer: Buffer, node: int) -> None:
+        """Update the directory after a buffer was evicted from ``node``.
+
+        For a spill the caller already committed the device→host move,
+        so dropping ``node`` leaves the host copy valid; for a clean
+        drop another replica survives by construction.  ``latest`` is
+        redirected deterministically (home if valid, else the smallest
+        surviving holder).
+        """
+        st = self._st(buffer)
+        st.locations.discard(node)
+        if not st.locations:
+            raise ValueError(
+                f"eviction of {buffer.name} from node {node} would drop "
+                f"the last valid copy"
+            )
+        if st.latest == node:
+            st.latest = (
+                self.home if self.home in st.locations
+                else min(st.locations)
+            )
 
     def rehome(self, node: int) -> None:
         """Move the host designation to ``node`` (head failover)."""
@@ -253,6 +342,8 @@ class DataManager:
                 "cannot drop the home node's copies; rehome the "
                 "directory at the elected head first (head failover)"
             )
+        if self.tiering is not None:
+            self.tiering.forget_node(node)
         lost: list[Buffer] = []
         for state in self._state.values():
             if node not in state.locations:

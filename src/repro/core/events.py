@@ -214,6 +214,10 @@ class EventSystem:
             return
         self._failed.add(node_id)
         self.memories[node_id].wipe()
+        # The wipe zeroes resident_bytes; reset the gauge too, so a
+        # co-located job's utilization report never shows ghost bytes
+        # from a tenant that was aborted or preempted mid-run.
+        self._mem_gauge(node_id, self.memories[node_id])
         gate = self._gates[node_id]
         if gate.is_alive:
             gate.interrupt("node failure")
@@ -293,7 +297,9 @@ class EventSystem:
 
         if note.event_type == EventType.ALLOC:
             mem.alloc(note.info["buffer_id"], note.info.get("payload"),
-                      nbytes=note.info.get("nbytes", 0.0))
+                      nbytes=note.info.get("nbytes", 0.0),
+                      label=note.info.get("label"),
+                      owner=note.info.get("owner"))
             self._mem_gauge(node_id, mem)
             yield from rank.send(note.origin, "done", cfg.completion_bytes, note.tag)
 
@@ -306,7 +312,8 @@ class EventSystem:
             msg = yield from rank.recv(src=note.origin, tag=note.tag)
             if note.info["buffer_id"] not in mem:
                 mem.alloc(note.info["buffer_id"],
-                          nbytes=note.info.get("nbytes", 0.0))
+                          nbytes=note.info.get("nbytes", 0.0),
+                          label=note.info.get("label"))
                 self._mem_gauge(node_id, mem)
             mem.write(note.info["buffer_id"], msg.payload)
             yield from rank.send(note.origin, "done", cfg.completion_bytes, note.tag)
@@ -328,7 +335,8 @@ class EventSystem:
             msg = yield from rank.recv(src=note.info["src"], tag=note.tag)
             if note.info["buffer_id"] not in mem:
                 mem.alloc(note.info["buffer_id"],
-                          nbytes=note.info.get("nbytes", 0.0))
+                          nbytes=note.info.get("nbytes", 0.0),
+                          label=note.info.get("label"))
                 self._mem_gauge(node_id, mem)
             mem.write(note.info["buffer_id"], msg.payload)
             yield from rank.send(note.origin, "done", cfg.completion_bytes, note.tag)
@@ -576,7 +584,8 @@ class EventSystem:
 
     # -- the plugin-visible operations ------------------------------------
     def alloc(self, dst: int, buffer_id: int, payload: Any = None,
-              origin: int = 0, nbytes: float = 0.0):
+              origin: int = 0, nbytes: float = 0.0,
+              label: str | None = None, owner: str | None = None):
         """Generator: allocate a device entry for ``buffer_id`` on ``dst``.
 
         ``payload`` optionally seeds the entry with the host-side object
@@ -591,7 +600,9 @@ class EventSystem:
         tag = yield from self._begin(origin, dst, EventType.ALLOC,
                                      {"buffer_id": buffer_id,
                                       "payload": payload,
-                                      "nbytes": nbytes})
+                                      "nbytes": nbytes,
+                                      "label": label,
+                                      "owner": owner})
         yield from self._await_completion(origin, dst, tag)
 
     def delete(self, dst: int, buffer_id: int, origin: int = 0):
@@ -601,11 +612,12 @@ class EventSystem:
         yield from self._await_completion(origin, dst, tag)
 
     def submit(self, dst: int, buffer_id: int, payload: Any, nbytes: float,
-               origin: int = 0):
+               origin: int = 0, label: str | None = None):
         """Generator: push data origin → ``dst`` (host-to-device copy)."""
         tag = yield from self._begin(origin, dst, EventType.SUBMIT,
                                      {"buffer_id": buffer_id,
-                                      "nbytes": nbytes})
+                                      "nbytes": nbytes,
+                                      "label": label})
         comm = self.pool.select(tag)
         req = comm.rank(origin).isend(dst, payload, nbytes, tag)
         yield from self._await_completion(origin, dst, tag)
@@ -621,7 +633,7 @@ class EventSystem:
         return msg.payload
 
     def exchange(self, src: int, dst: int, buffer_id: int, nbytes: float,
-                 origin: int = 0):
+                 origin: int = 0, label: str | None = None):
         """Generator: forward data worker → worker without passing
         through the origin (§4.3's head-bypassing copy).
 
@@ -638,7 +650,8 @@ class EventSystem:
         )
         note_dst = Notification(
             EventType.EXCHANGE_DST, tag, origin,
-            {"buffer_id": buffer_id, "src": src, "nbytes": nbytes},
+            {"buffer_id": buffer_id, "src": src, "nbytes": nbytes,
+             "label": label},
         )
         req_a = ctrl.isend(src, note_src, self.config.notification_bytes, NOTIFY_TAG)
         req_b = ctrl.isend(dst, note_dst, self.config.notification_bytes, NOTIFY_TAG)

@@ -142,6 +142,38 @@ class NodeHang:
 
 
 @dataclass(frozen=True)
+class MemoryPressure:
+    """A node's device-memory capacity shrinks over a time window.
+
+    During ``[start, end)`` the node's effective capacity is its
+    configured ``device_memory_bytes`` times ``capacity_factor`` — the
+    tiered store (:mod:`repro.core.tiering`) sees the shrunken budget
+    at its next planning decision and reacts with an eviction storm.
+    ``fetch_fail_prob`` additionally makes read-through re-fetches
+    *to* this node fail with that probability inside the window
+    (retried with exponential backoff per ``mem_fetch_retries``);
+    draws are deterministic per node via :func:`derive_rng`.
+    """
+
+    node: int
+    start: float
+    end: float = float("inf")
+    capacity_factor: float = 1.0
+    fetch_fail_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError("need 0 <= start < end")
+        if not 0.0 < self.capacity_factor <= 1.0:
+            raise ValueError("capacity_factor must be in (0, 1]")
+        if not 0.0 <= self.fetch_fail_prob <= 1.0:
+            raise ValueError("fetch_fail_prob must be in [0, 1]")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A declarative set of transient faults plus the seed driving them."""
 
@@ -150,10 +182,12 @@ class FaultPlan:
     degradations: tuple[LinkDegradation, ...] = ()
     stalls: tuple[NodeStall, ...] = ()
     hangs: tuple[NodeHang, ...] = ()
+    pressures: tuple[MemoryPressure, ...] = ()
 
     def __post_init__(self) -> None:
         # Accept lists for convenience; store tuples (the plan is frozen).
-        for name in ("losses", "degradations", "stalls", "hangs"):
+        for name in ("losses", "degradations", "stalls", "hangs",
+                     "pressures"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -197,8 +231,11 @@ class ActiveFaults:
         self.plan = plan
         self.cluster = cluster
         self._rngs: dict[tuple[int, int], object] = {}
+        self._fetch_rngs: dict[int, object] = {}
         #: Messages the fabric has eaten so far (diagnostics / tests).
         self.dropped_messages = 0
+        #: Read-through fetches the fabric has failed (diagnostics).
+        self.fetch_failures = 0
 
     # -- message loss -----------------------------------------------------
     def loss_probability(self, src: int, dst: int) -> float:
@@ -261,6 +298,36 @@ class ActiveFaults:
             if hang.node in (src, dst) and hang.active(now):
                 release = max(release, hang.end)
         return release
+
+    # -- memory pressure ------------------------------------------------------
+    def capacity_factor(self, node: int, now: float) -> float:
+        """The node's device-capacity multiplier at ``now`` (tiering)."""
+        factor = 1.0
+        for pressure in self.plan.pressures:
+            if pressure.node == node and pressure.active(now):
+                factor *= pressure.capacity_factor
+        return factor
+
+    def fetch_fails(self, node: int, now: float) -> bool:
+        """Decide (and record) whether the next fetch to ``node`` fails.
+
+        One RNG stream per node, so a node's fetch-failure sequence is
+        a pure function of the seed and that node's fetch order.
+        """
+        prob = 0.0
+        for pressure in self.plan.pressures:
+            if pressure.node == node and pressure.active(now):
+                prob = max(prob, pressure.fetch_fail_prob)
+        if prob <= 0.0:
+            return False
+        rng = self._fetch_rngs.get(node)
+        if rng is None:
+            rng = derive_rng(self.plan.seed, "memfetch", str(node))
+            self._fetch_rngs[node] = rng
+        if rng.random() < prob:
+            self.fetch_failures += 1
+            return True
+        return False
 
     # -- compute stretching ---------------------------------------------------
     def compute_rate(self, node: int, now: float) -> float:

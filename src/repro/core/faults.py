@@ -71,7 +71,9 @@ from repro.core.datamanager import HOST, DataManager, Move
 from repro.core.events import EventSystem
 from repro.core.faultmodel import FaultPlan
 from repro.core.headlog import HeadLog, Replicator
+from repro.core.memory import DeviceMemoryError
 from repro.core.scheduler import HeftScheduler, Schedule, Scheduler
+from repro.core.tiering import MemoryWait, make_policy
 from repro.mpi.comm import MpiWorld, TransportConfig
 from repro.obs.observer import Observer
 from repro.omp.api import OmpProgram
@@ -757,6 +759,25 @@ class FaultTolerantRuntime:
             use_wheel=self.heartbeat_wheel,
         )
         dm = DataManager(analysis=analysis if analysis.enabled else None)
+        if cfg.device_memory_bytes > 0 and cfg.eviction_policy != "none":
+            # Tiered data plane (repro.core.tiering) under fault
+            # tolerance: same capacity mirror as the plain runtime, with
+            # MemoryPressure windows shrinking the effective budget.
+            run_faults = getattr(cluster, "faults", None)
+
+            def capacity_fn(node, base, _f=run_faults):
+                factor_of = getattr(_f, "capacity_factor", None)
+                if factor_of is None:
+                    return base
+                return base * factor_of(node, sim.now)
+
+            dm.configure_tiering(
+                {n: cfg.device_memory_bytes
+                 for n in range(1, cluster.num_nodes)},
+                make_policy(cfg.eviction_policy),
+                capacity_fn=capacity_fn,
+            )
+        tiering = dm.tiering
         analysis.program_begin(program)
         graph = program.graph
 
@@ -1001,6 +1022,31 @@ class FaultTolerantRuntime:
                     continue
                 return
 
+        def fetch_gate(buffer: Buffer, dst: int):
+            """Tiered only: fault-injected fetch failures with retry.
+
+            Under a MemoryPressure arm with ``fetch_fail_prob``, a
+            fetch toward ``dst`` may fail before any bytes move; retry
+            with exponential backoff up to ``mem_fetch_retries`` times,
+            then give up with a buffer-attributed error.  No fault
+            plan (or no pressure window) costs zero extra yields.
+            """
+            fails = getattr(cluster.faults, "fetch_fails", None) \
+                if cluster.faults is not None else None
+            if fails is None:
+                return
+            attempt = 0
+            while fails(dst, sim.now):
+                attempt += 1
+                cluster.trace.count("mem.fetch_retries")
+                if attempt > cfg.mem_fetch_retries:
+                    raise DeviceMemoryError(
+                        f"fetch of buffer {buffer.name} toward node "
+                        f"{dst} still failing after "
+                        f"{cfg.mem_fetch_retries} retries"
+                    )
+                yield sim.timeout(cfg.mem_fetch_backoff * 2 ** (attempt - 1))
+
         def safe_source_move(buffer: Buffer, dst: int, chain: frozenset = frozenset()):
             """Generator: materialize ``buffer`` on ``dst``.
 
@@ -1008,6 +1054,8 @@ class FaultTolerantRuntime:
             mid-transfer; a crash of ``dst`` propagates to the caller
             (the whole task attempt restarts elsewhere).
             """
+            if tiering is not None and dst != home:
+                yield from fetch_gate(buffer, dst)
             while True:
                 yield from ensure_available(buffer, chain)
                 locations = dm.locations(buffer) - dead
@@ -1117,6 +1165,26 @@ class FaultTolerantRuntime:
             if node == HOST or node in dead:
                 node = home
             if node != home:
+                if tiering is not None and tiering.manages(node):
+                    # One buffer at a time: a working set larger than the
+                    # device is legal for enter data — buffers entered
+                    # earlier are clean replicas (the host image
+                    # survives) the tier may drop; consumers re-fetch
+                    # them read-through.  Each buffer commits (and logs)
+                    # as soon as it lands, so a subsequent eviction
+                    # updates a directory that already knows the copy.
+                    for buf in task.buffers:
+                        bid = [buf.buffer_id]
+                        dm.pin(bid)
+                        try:
+                            yield from make_room(task, node, [buf], bid)
+                            yield from safe_source_move(buf, node)
+                            dm.commit_enter_data(buf, node)
+                            log_append("enter_data",
+                                       buffer_id=buf.buffer_id, node=node)
+                        finally:
+                            dm.unpin(bid)
+                    return
                 for buf in task.buffers:
                     yield from safe_source_move(buf, node)
                 for buf in task.buffers:
@@ -1162,9 +1230,81 @@ class FaultTolerantRuntime:
                 if holder != home and holder not in dead:
                     yield from events.delete(holder, buf.buffer_id,
                                              origin=home)
+                    dm.mem_release(buf, holder)
+
+        # -- tiered data plane under fault tolerance ----------------------
+        def perform_eviction(ev):
+            """Generator: physically evict one buffer (spill if dirty).
+
+            A victim on a node that died since planning needs no work —
+            the crash wiped the device and ``dm.on_node_failure``
+            already dropped the tier accounting.
+            """
+            buf, node = ev.buffer, ev.node
+            try:
+                if node in dead:
+                    return
+                if ev.spill:
+                    payload = yield from events.retrieve(
+                        node, buf.buffer_id, buf.nbytes, origin=home
+                    )
+                    if node in dead or node not in dm.locations(buf):
+                        return
+                    buf.data = payload
+                    dm.commit_move(Move(buf, node, HOST))
+                    cluster.trace.count("mem.spill_bytes", buf.nbytes)
+                try:
+                    dm.commit_evict(buf, node)
+                except ValueError:
+                    return  # became the last live copy since planning
+                if node not in dead:
+                    # Unlike purge_stale's deferred deletes, an eviction
+                    # delete is safe under replication: it follows the
+                    # completed spill/directory update in the same frame,
+                    # and the bytes provably live at home or on another
+                    # replica before the device entry is dropped.
+                    yield from events.delete(node, buf.buffer_id,
+                                             origin=home)
+                cluster.trace.count("mem.evict")
+            finally:
+                dm.mem_release(buf, node)
+
+        def make_room(task: Task, node: int, incoming, pinned_ids):
+            """Generator: plan + perform evictions so ``incoming`` fits.
+
+            Backs off on :class:`MemoryWait` by *simulated time* rather
+            than the plain runtime's release turnstile: each retry
+            releases this frame's pins first, so the last frame standing
+            re-plans against the true state and either proceeds or
+            raises the fatal task-attributed error.  Time-based back-off
+            cannot livelock — co-tenant kernels finish while we sleep.
+            """
+            backoff = 1
+            while True:
+                try:
+                    busy = tiering.evicting(node)
+                    if any(bid in busy for bid in pinned_ids):
+                        # One of our own buffers is mid-eviction: let it
+                        # land (re-fetch happens on re-plan) before
+                        # committing to this placement.
+                        raise MemoryWait
+                    evictions = dm.plan_evictions(task, node, incoming)
+                    break
+                except MemoryWait:
+                    dm.unpin(pinned_ids)
+                    try:
+                        yield sim.timeout(cfg.mem_fetch_backoff * backoff)
+                        backoff = min(backoff * 2, 64)
+                    finally:
+                        dm.pin(pinned_ids)
+            for ev in evictions:
+                yield from perform_eviction(ev)
 
         def run_target(task: Task, node: int, chain: frozenset = frozenset(),
                        attempt: int = 0):
+            if tiering is not None and node != home and tiering.manages(node):
+                yield from run_target_tiered(task, node, chain, attempt)
+                return
             moves, allocs = dm.plan_for_task(task, node)
             for buf in allocs:
                 yield from guarded(node, events.alloc(node, buf.buffer_id,
@@ -1202,6 +1342,74 @@ class FaultTolerantRuntime:
             record_writes(task, node, recovery=bool(chain))
             yield from purge_stale(dm.commit_task_done(task, node))
 
+        def run_target_tiered(task: Task, node: int, chain: frozenset,
+                              attempt: int):
+            """``run_target`` with device-capacity admission control.
+
+            The task's buffers are pinned for the frame's lifetime so
+            concurrent planners never evict an in-use dependency; the
+            plan/back-off loop mirrors the plain runtime's, with
+            simulated-time back-off standing in for its release
+            turnstile (see :func:`make_room`).
+            """
+            dep_ids = sorted({d.buffer.buffer_id for d in task.deps})
+            dm.pin(dep_ids)
+            try:
+                backoff = 1
+                while True:
+                    try:
+                        busy = tiering.evicting(node)
+                        if any(bid in busy for bid in dep_ids):
+                            raise MemoryWait  # let our dep's eviction land
+                        _moves, allocs = dm.plan_for_task(task, node)
+                        needed = [
+                            d.buffer for d in task.deps
+                            if task.dep_type_for(d.buffer).reads
+                            and not dm.is_resident(d.buffer, node)
+                        ]
+                        incoming = list(allocs) + needed
+                        evictions = dm.plan_evictions(task, node, incoming)
+                        break
+                    except MemoryWait:
+                        dm.unpin(dep_ids)
+                        try:
+                            yield sim.timeout(
+                                cfg.mem_fetch_backoff * backoff
+                            )
+                            backoff = min(backoff * 2, 64)
+                        finally:
+                            dm.pin(dep_ids)
+                needed_ids = {b.buffer_id for b in needed}
+                for bid in sorted({
+                    d.buffer.buffer_id for d in task.deps
+                    if task.dep_type_for(d.buffer).reads
+                }):
+                    cluster.trace.count(
+                        "mem.miss" if bid in needed_ids else "mem.hit"
+                    )
+                for ev in evictions:
+                    yield from perform_eviction(ev)
+                for buf in allocs:
+                    yield from guarded(node, events.alloc(
+                        node, buf.buffer_id, payload=buf.data, origin=home,
+                        nbytes=buf.nbytes, label=buf.name, owner=task.name,
+                    ))
+                    dm.commit_alloc(buf, node)
+                for dep in task.deps:
+                    if task.dep_type_for(dep.buffer).reads and (
+                        not dm.is_resident(dep.buffer, node)
+                    ):
+                        yield from safe_source_move(dep.buffer, node, chain)
+                dedup = not chain and task.task_id in dedup_tasks
+                yield from guarded(node, events.execute(
+                    node, task, origin=home, attempt=attempt,
+                    dedup=dedup, fo_epoch=cur_epoch(),
+                ))
+                record_writes(task, node, recovery=bool(chain))
+                yield from purge_stale(dm.commit_task_done(task, node))
+            finally:
+                dm.unpin(dep_ids)
+
         # -- straggler mitigation -----------------------------------------
         def speculatable(task: Task) -> bool:
             """Target tasks eligible for speculative re-dispatch.
@@ -1213,6 +1421,12 @@ class FaultTolerantRuntime:
             """
             return (
                 cfg.straggler_factor > 0
+                # Speculation doubles a task's transient footprint (both
+                # attempts stage full working sets); under a bounded
+                # device budget the duplicate attempt could itself force
+                # the eviction storm it is trying to outrun, so tiered
+                # runs fall back to plain (admission-controlled) dispatch.
+                and tiering is None
                 and task.kind == TaskKind.TARGET
                 and task.cost > 0
                 and all(not (d.type.writes and d.type.reads) for d in task.deps)
@@ -1429,7 +1643,7 @@ class FaultTolerantRuntime:
 
             Returns the number of in-doubt dispatches re-issued.
             """
-            nonlocal dm
+            nonlocal dm, tiering
             dm2 = DataManager(analysis=dm.analysis)
             ckpt2: dict[int, tuple[int, Any]] = {}
             done2: set[int] = set()
@@ -1516,6 +1730,24 @@ class FaultTolerantRuntime:
                         dm2.invalidate(dep.buffer)
             # Swap the rebuilt state in.
             dm = dm2
+            if tiering is not None:
+                # Re-arm the tiered store on the rebuilt directory.  The
+                # new head reconstructs a conservative residency mirror
+                # from the replayed directory: every replica the log
+                # still knows about is charged; replicas the log forgot
+                # are tombstones the eviction pass collects naturally.
+                dm.configure_tiering(
+                    {n: cfg.device_memory_bytes
+                     for n in range(1, cluster.num_nodes)},
+                    make_policy(cfg.eviction_policy),
+                    capacity_fn=tiering.capacity_fn,
+                )
+                tiering = dm.tiering
+                for bid in sorted(all_buffers):
+                    buf = all_buffers[bid]
+                    for n in sorted(dm.locations(buf)):
+                        if n != HOST and n not in dead and tiering.manages(n):
+                            tiering.charge(n, buf)
             checkpoints.clear()
             checkpoints.update(ckpt2)
             writer_of.clear()

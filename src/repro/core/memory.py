@@ -40,6 +40,7 @@ class DeviceMemory:
         self.capacity_bytes = capacity_bytes
         self._table: dict[int, Any] = {}
         self._sizes: dict[int, float] = {}
+        self._labels: dict[int, str] = {}
         #: Logical bytes currently mapped on this node.
         self.resident_bytes = 0.0
         #: High-water mark of :attr:`resident_bytes` over the run.
@@ -55,12 +56,16 @@ class DeviceMemory:
         return len(self._table)
 
     def alloc(self, buffer_id: int, payload: Any = None,
-              nbytes: float = 0.0) -> None:
+              nbytes: float = 0.0, label: str | None = None,
+              owner: str | None = None) -> None:
         """Create (or overwrite) the device entry for a buffer.
 
         ``nbytes`` is the buffer's logical size; re-allocating an
         existing entry re-sizes it (the delta is what counts against
-        capacity).
+        capacity).  ``label`` names the buffer and ``owner`` the
+        requesting task — both pure diagnostics, surfaced when the
+        allocation overflows the node so overflow reports are
+        actionable.
         """
         delta = nbytes - self._sizes.get(buffer_id, 0.0)
         if (
@@ -69,17 +74,34 @@ class DeviceMemory:
         ):
             raise DeviceMemoryError(
                 f"node {self.node_id}: out of device memory allocating "
-                f"buffer {buffer_id} ({nbytes:.0f} B; "
-                f"{self.resident_bytes:.0f} of {self.capacity_bytes:.0f} B "
-                f"resident)"
+                f"buffer {label or buffer_id} ({nbytes:.0f} B"
+                + (f" for task {owner}" if owner else "")
+                + f"; {self.resident_bytes:.0f} of "
+                f"{self.capacity_bytes:.0f} B resident"
+                f"{self._resident_summary()})"
             )
         if buffer_id not in self._table:
             self.allocations += 1
         self._table[buffer_id] = payload
         self._sizes[buffer_id] = nbytes
+        if label is not None:
+            self._labels[buffer_id] = label
         self.resident_bytes += delta
         if self.resident_bytes > self.peak_bytes:
             self.peak_bytes = self.resident_bytes
+
+    def _resident_summary(self, limit: int = 8) -> str:
+        """The resident set as ``name:bytes`` pairs for error messages."""
+        if not self._table:
+            return ""
+        entries = sorted(
+            (self._labels.get(bid, str(bid)), self._sizes.get(bid, 0.0))
+            for bid in self._table
+        )
+        shown = ", ".join(f"{n}:{s:.0f}B" for n, s in entries[:limit])
+        if len(entries) > limit:
+            shown += f", … +{len(entries) - limit} more"
+        return f"; resident set: [{shown}]"
 
     def write(self, buffer_id: int, payload: Any) -> None:
         """Store incoming data for an already-allocated buffer."""
@@ -105,6 +127,7 @@ class DeviceMemory:
             )
         del self._table[buffer_id]
         self.resident_bytes -= self._sizes.pop(buffer_id, 0.0)
+        self._labels.pop(buffer_id, None)
         self.deletions += 1
 
     def size_of(self, buffer_id: int) -> float:
@@ -122,4 +145,5 @@ class DeviceMemory:
         """Drop every entry (node crash: its memory contents are gone)."""
         self._table.clear()
         self._sizes.clear()
+        self._labels.clear()
         self.resident_bytes = 0.0

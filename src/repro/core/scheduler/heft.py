@@ -110,12 +110,26 @@ class HeftScheduler(Scheduler):
     whose handlers then serialize them.
     """
 
-    def __init__(self, exec_slots_per_node: int = 4, affinity_stickiness: float = 1.0):
+    def __init__(
+        self,
+        exec_slots_per_node: int = 4,
+        affinity_stickiness: float = 1.0,
+        replica_aware: bool = False,
+    ):
         if exec_slots_per_node < 1:
             raise ValueError("exec_slots_per_node must be >= 1")
         if affinity_stickiness < 0:
             raise ValueError("affinity_stickiness must be >= 0")
         self.exec_slots_per_node = exec_slots_per_node
+        #: Under the tiered data plane, a read-only entered buffer that
+        #: one task already pulled to a node stays resident there as a
+        #: clean replica — a later reader scheduled on the same node
+        #: pays nothing to stage it.  With ``replica_aware`` the ready
+        #: time models that: a node already assigned a reader of a
+        #: read-only staged buffer sees that buffer's staging cost drop
+        #: to zero, so hot replicas attract their consumers.  Off by
+        #: default — it changes placement, hence event digests.
+        self.replica_aware = replica_aware
         #: How much EFT slack (in units of the task's input-communication
         #: cost) the scheduler accepts to keep a task on its affinity's
         #: home node.  EFT prices each edge in isolation, so it sees
@@ -144,6 +158,26 @@ class HeftScheduler(Scheduler):
         succ_bytes: dict[int, list[tuple[Task, float]]] = defaultdict(list)
         pred_bytes: dict[int, list[tuple[Task, float]]] = defaultdict(list)
         host_staging: dict[int, float] = defaultdict(float)
+        # Replica awareness needs the staged bytes *itemized* per buffer
+        # (not the aggregate): only a buffer no target ever writes stays
+        # a clean replica wherever it lands, so only those are reusable.
+        staged_items: dict[int, list[tuple[int, float]]] = defaultdict(list)
+        written_ids = (
+            {b.buffer_id for t in targets for b in t.writes}
+            if self.replica_aware else set()
+        )
+
+        def stage(task: Task, pred: Task) -> None:
+            host_staging[task.task_id] += shared_bytes(pred, task)
+            if self.replica_aware:
+                produced = {b.buffer_id: b.nbytes for b in pred.writes}
+                for b in task.reads:
+                    nbytes = produced.get(b.buffer_id)
+                    if nbytes is not None:
+                        staged_items[task.task_id].append(
+                            (b.buffer_id, nbytes)
+                        )
+
         for task in targets:
             for pred in graph.predecessors(task):
                 if pred.task_id in target_ids:
@@ -152,10 +186,10 @@ class HeftScheduler(Scheduler):
                     succ_bytes[pred.task_id].append((task, nbytes))
                 elif pred.kind == TaskKind.TARGET_ENTER_DATA:
                     # Input staged from the host at program start.
-                    host_staging[task.task_id] += shared_bytes(pred, task)
+                    stage(task, pred)
                 elif pred.kind == TaskKind.CLASSICAL:
                     # Produced on the head node; treat like host staging.
-                    host_staging[task.task_id] += shared_bytes(pred, task)
+                    stage(task, pred)
 
         # -- upward ranks ---------------------------------------------------
         def mean_comm(nbytes: float) -> float:
@@ -211,6 +245,18 @@ class HeftScheduler(Scheduler):
         for i, aff in enumerate(int_affinities):
             affinity_home[aff] = workers[i * len(workers) // len(int_affinities)]
 
+        # Nodes already assigned a reader of each read-only staged
+        # buffer — i.e. nodes that will hold a clean device replica by
+        # the time a later reader could run there (replica_aware only).
+        replica_nodes: dict[int, set[int]] = defaultdict(set)
+
+        def note_replicas(task: Task, node: int) -> None:
+            if not self.replica_aware:
+                return
+            for bid, _nbytes in staged_items.get(task.task_id, ()):
+                if bid not in written_ids:
+                    replica_nodes[bid].add(node)
+
         for task in order:
             # .get() keeps the defaultdicts clean: indexing would
             # materialize an empty entry per (task, node) probe.
@@ -240,11 +286,26 @@ class HeftScheduler(Scheduler):
             # set, and therefore the choice, is exactly that of the
             # full scan.
             ready0 = mean_comm(staged) if staged else 0.0
+            items = (
+                staged_items.get(task.task_id)
+                if self.replica_aware and staged else None
+            )
+
+            def staged_ready(node: int) -> float:
+                # Staging cost with this node's resident replicas free.
+                if items is None:
+                    return ready0
+                nb = sum(
+                    nbytes for bid, nbytes in items
+                    if node not in replica_nodes.get(bid, ())
+                )
+                return mean_comm(nb) if nb else 0.0
+
             bounds: list[tuple[float, float, float, int]] = []
             lb_min = _INF
             home_bound: tuple[float, float, float, int] | None = None
             for node in workers:
-                ready = ready0
+                ready = staged_ready(node)
                 for pred, nbytes in preds:
                     pred_finish = planned[pred.task_id][1]
                     if assignment[pred.task_id] != node:
@@ -276,6 +337,7 @@ class HeftScheduler(Scheduler):
                     assignment[task.task_id] = home
                     planned[task.task_id] = (est, home_eft)
                     timelines[home].insert(est, home_eft)
+                    note_replicas(task, home)
                     continue
 
             bounds.sort(key=lambda b: b[0])
@@ -340,6 +402,7 @@ class HeftScheduler(Scheduler):
             assignment[task.task_id] = node
             planned[task.task_id] = (est, eft)
             timelines[node].insert(est, eft)
+            note_replicas(task, node)
 
         self.pin_special_tasks(graph, assignment)
         return Schedule(assignment, planned)

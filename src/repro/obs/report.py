@@ -188,6 +188,25 @@ def format_utilization(report: UtilizationReport) -> str:
             f"max {report.jobs_queue_max:.0f}"
         )
 
+    mem = {
+        name[len("mem."):]: value
+        for name, value in report.counters.items()
+        if name.startswith("mem.")
+    }
+    if mem:
+        hits = mem.get("hit", 0)
+        misses = mem.get("miss", 0)
+        total = hits + misses
+        rate = f", hit rate {hits / total * 100:.1f}%" if total else ""
+        lines.append("")
+        lines.append(
+            "memory tiering: "
+            f"{hits:.0f} device hits, {misses:.0f} misses{rate}; "
+            f"{mem.get('evict', 0):.0f} evictions "
+            f"({_fmt_bytes(mem.get('spill_bytes', 0))} spilled to host), "
+            f"{mem.get('fetch_retries', 0):.0f} fetch retries"
+        )
+
     hb = {
         name[len("hb."):]: value
         for name, value in report.counters.items()

@@ -1,0 +1,377 @@
+"""Tests for the tiered device→host→remote data plane.
+
+Covers the :class:`~repro.core.tiering.MemoryDirector` bookkeeping in
+isolation (charging, pinning, policy ordering, MemoryWait vs. the fatal
+error), the runtime integration (programs whose working sets exceed
+device capacity complete with correct outputs and mem.* counters), the
+MemoryPressure fault arm (capacity shrink + fetch-retry loop), and the
+task-attributed diagnostics of :class:`DeviceMemoryError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.faultmodel import FaultPlan, MemoryPressure
+from repro.core.memory import DeviceMemory, DeviceMemoryError
+from repro.core.runtime import OMPCRuntime
+from repro.core.tiering import (
+    CostAwarePolicy,
+    LRUPolicy,
+    MemoryDirector,
+    MemoryWait,
+    Victim,
+    make_policy,
+)
+from repro.omp.api import OmpProgram
+from repro.omp.task import Buffer, Task, TaskKind, depend_in, depend_out
+from repro.util.units import MILLISECOND
+
+KB = 1024.0
+
+
+def buf(nbytes, name=""):
+    return Buffer(nbytes=nbytes, name=name)
+
+
+def task(name="t"):
+    return Task(task_id=0, kind=TaskKind.TARGET, name=name)
+
+
+def never_sole(_buf, _node):
+    return False
+
+
+def always_sole(_buf, _node):
+    return True
+
+
+class TestPolicies:
+    def test_make_policy(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("cost"), CostAwarePolicy)
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            make_policy("none")
+        with pytest.raises(ValueError):
+            make_policy("fifo")
+
+    def test_lru_orders_by_last_use(self):
+        a, b = buf(KB, "a"), buf(KB, "b")
+        victims = [
+            Victim(b, KB, last_use=9, dirty=False, refetch_cost=KB),
+            Victim(a, KB, last_use=1, dirty=False, refetch_cost=KB),
+        ]
+        ordered = LRUPolicy().order(victims)
+        assert [v.buffer.name for v in ordered] == ["a", "b"]
+
+    def test_cost_aware_prefers_clean_small(self):
+        small_clean = Victim(buf(KB, "sc"), KB, last_use=9,
+                             dirty=False, refetch_cost=KB)
+        large_dirty = Victim(buf(4 * KB, "ld"), 4 * KB, last_use=1,
+                             dirty=True, refetch_cost=4 * KB)
+        ordered = CostAwarePolicy().order([large_dirty, small_clean])
+        assert ordered[0].buffer.name == "sc"
+
+    def test_cost_aware_dirty_penalty_validated(self):
+        with pytest.raises(ValueError):
+            CostAwarePolicy(dirty_penalty=0.5)
+
+
+class TestMemoryDirector:
+    def test_charge_and_release_balance(self):
+        d = MemoryDirector({1: 4 * KB}, LRUPolicy())
+        a = buf(KB, "a")
+        assert d.charge(1, a)
+        assert not d.charge(1, a)  # idempotent
+        assert d.resident(1) == KB
+        d.release(1, a.buffer_id)
+        assert d.resident(1) == 0.0
+        assert a.buffer_id not in d.holdings(1)
+
+    def test_plan_evicts_lru_first(self):
+        d = MemoryDirector({1: 2 * KB}, LRUPolicy())
+        a, b, c = buf(KB, "a"), buf(KB, "b"), buf(KB, "c")
+        d.charge(1, a)
+        d.charge(1, b)
+        d.touch(1, [a.buffer_id])  # a is now hotter than b
+        evs = d.plan(task(), 1, [c], never_sole)
+        assert [e.buffer.name for e in evs] == ["b"]
+        assert not evs[0].spill  # clean replica: plain drop
+        assert d.resident(1) == 3 * KB  # c charged; b still pending
+
+    def test_sole_copy_spills(self):
+        d = MemoryDirector({1: KB}, LRUPolicy())
+        a = buf(KB, "a")
+        d.charge(1, a)
+        evs = d.plan(task(), 1, [buf(KB, "b")], always_sole)
+        assert evs[0].spill
+
+    def test_pinned_buffers_never_victims(self):
+        d = MemoryDirector({1: 2 * KB}, LRUPolicy())
+        a, b = buf(KB, "a"), buf(KB, "b")
+        d.charge(1, a)
+        d.charge(1, b)
+        d.pin([a.buffer_id])
+        evs = d.plan(task(), 1, [buf(KB, "c")], never_sole)
+        assert [e.buffer.name for e in evs] == ["b"]
+        d.unpin([a.buffer_id])
+        assert not d.pinned(a.buffer_id)
+
+    def test_pin_refcounts(self):
+        d = MemoryDirector({1: KB}, LRUPolicy())
+        d.pin([7])
+        d.pin([7])
+        d.unpin([7])
+        assert d.pinned(7)
+        d.unpin([7])
+        assert not d.pinned(7)
+
+    def test_memory_wait_when_pins_block(self):
+        # The shortfall is covered by another frame's pinned bytes:
+        # transient blockage, not a fatal overfit.
+        d = MemoryDirector({1: 2 * KB}, LRUPolicy())
+        a, b = buf(KB, "a"), buf(KB, "b")
+        d.charge(1, a)
+        d.charge(1, b)
+        d.pin([a.buffer_id, b.buffer_id])
+        with pytest.raises(MemoryWait):
+            d.plan(task(), 1, [buf(2 * KB, "c")], never_sole)
+
+    def test_memory_wait_when_evictions_in_flight(self):
+        d = MemoryDirector({1: 2 * KB}, LRUPolicy())
+        a = buf(2 * KB, "a")
+        d.charge(1, a)
+        evs = d.plan(task(), 1, [buf(2 * KB, "b")], never_sole)
+        assert len(evs) == 1
+        assert d.evicting(1) == {a.buffer_id}
+        # A concurrent planner must wait for the in-flight eviction.
+        with pytest.raises(MemoryWait):
+            d.plan(task(), 1, [buf(KB, "c")], never_sole)
+
+    def test_fatal_when_solo_working_set_cannot_fit(self):
+        d = MemoryDirector({1: KB}, LRUPolicy())
+        with pytest.raises(DeviceMemoryError) as err:
+            d.plan(task("huge"), 1, [buf(4 * KB, "w")], never_sole)
+        msg = str(err.value)
+        assert "task huge" in msg
+        assert "4096 B" in msg
+        assert "node 1" in msg
+
+    def test_fatal_message_lists_resident_set(self):
+        d = MemoryDirector({1: 2 * KB}, LRUPolicy())
+        a = buf(KB, "stuck")
+        d.charge(1, a)
+        d.pin([a.buffer_id])
+        with pytest.raises(DeviceMemoryError, match="stuck"):
+            # Needs 2.5 KB with only 1 KB ever reclaimable even if the
+            # pin lifts: fatal, and the message names the resident set.
+            d.plan(task(), 1, [buf(2.5 * KB, "w")], never_sole)
+
+    def test_capacity_fn_shrinks_effective_capacity(self):
+        d = MemoryDirector({1: 4 * KB}, LRUPolicy(),
+                           capacity_fn=lambda n, base: base * 0.5)
+        assert d.capacity(1) == 2 * KB
+
+    def test_forget_node_clears_accounting(self):
+        d = MemoryDirector({1: 4 * KB}, LRUPolicy())
+        d.charge(1, buf(KB))
+        d.forget_node(1)
+        assert d.resident(1) == 0.0
+        assert d.holdings(1) == {}
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryDirector({1: 0.0}, LRUPolicy())
+
+
+def chain_program(n=8, nbytes=2 * KB):
+    """n independent read→write pairs; working set 2n buffers."""
+    prog = OmpProgram("tiering")
+    ins = [prog.buffer(nbytes, data=np.zeros(4), name=f"b{i}")
+           for i in range(n)]
+    outs = [prog.buffer(nbytes, data=np.zeros(4), name=f"o{i}")
+            for i in range(n)]
+    prog.target_enter_data(*ins)
+    for i, (b, o) in enumerate(zip(ins, outs)):
+        def fn(x, y, i=i):
+            y[:] = x + i + 1
+        prog.target(fn, depend=[depend_in(b), depend_out(o)],
+                    cost=0.2 * MILLISECOND, name=f"k{i}")
+    prog.target_exit_data(*outs)
+    return prog, outs
+
+
+def expected(outs):
+    return all((o.data == np.zeros(4) + i + 1).all()
+               for i, o in enumerate(outs))
+
+
+class TestRuntimeIntegration:
+    @pytest.mark.parametrize("policy", ["lru", "cost"])
+    def test_oversubscribed_run_completes(self, policy):
+        # Working set 16 buffers/node-group vs. 4-buffer devices: the
+        # pre-tiering runtime died here; the tiered one must finish
+        # with byte-identical outputs.
+        cfg = OMPCConfig(device_memory_bytes=4 * 2 * KB,
+                         eviction_policy=policy, trace=True)
+        rt = OMPCRuntime(ClusterSpec(num_nodes=3), cfg)
+        prog, outs = chain_program()
+        res = rt.run(prog)
+        assert expected(outs)
+        assert res.makespan > 0
+        counters = rt.last_cluster.trace.counters
+        assert counters.get("mem.evict", 0) > 0
+        assert counters.get("mem.hit", 0) + counters.get("mem.miss", 0) > 0
+
+    def test_outputs_match_unlimited_run(self):
+        cfg = OMPCConfig(device_memory_bytes=3 * 2 * KB,
+                         eviction_policy="lru")
+        rt = OMPCRuntime(ClusterSpec(num_nodes=3), cfg)
+        prog, outs = chain_program()
+        rt.run(prog)
+        limited = [o.data.copy() for o in outs]
+
+        rt2 = OMPCRuntime(ClusterSpec(num_nodes=3), OMPCConfig())
+        prog2, outs2 = chain_program()
+        rt2.run(prog2)
+        for got, ref in zip(limited, (o.data for o in outs2)):
+            assert (got == ref).all()
+
+    def test_no_tiering_without_policy(self):
+        # device_memory_bytes alone keeps the PR-4 hard-failure mode.
+        cfg = OMPCConfig(device_memory_bytes=2 * 2 * KB)
+        rt = OMPCRuntime(ClusterSpec(num_nodes=3), cfg)
+        prog, _outs = chain_program()
+        with pytest.raises(DeviceMemoryError, match="out of device memory"):
+            rt.run(prog)
+
+    def test_fatal_error_names_task_and_buffer(self):
+        # A single buffer bigger than the device can never fit.
+        cfg = OMPCConfig(device_memory_bytes=KB, eviction_policy="lru")
+        rt = OMPCRuntime(ClusterSpec(num_nodes=2), cfg)
+        prog = OmpProgram()
+        big = prog.buffer(4 * KB, data=np.zeros(4), name="giant")
+        out = prog.buffer(4 * KB, data=np.zeros(4), name="out")
+        prog.target(lambda x, y: None, depend=[depend_in(big),
+                                               depend_out(out)],
+                    cost=0.1 * MILLISECOND, name="whale")
+        with pytest.raises(DeviceMemoryError, match="whale"):
+            rt.run(prog)
+
+
+class TestMemoryPressureFaults:
+    def _run_under_pressure(self, pressure, cfg):
+        cluster = Cluster(ClusterSpec(num_nodes=3))
+        FaultPlan(seed=7, pressures=[pressure]).install(cluster)
+        rt = OMPCRuntime(ClusterSpec(num_nodes=3), cfg)
+        prog, outs = chain_program(n=6)
+        proc, finish = rt.launch(prog, cluster=cluster)
+        cluster.sim.run(until=proc)
+        res = finish()
+        return res, outs, rt.last_cluster
+
+    def test_capacity_shrink_forces_evictions(self):
+        cfg = OMPCConfig(device_memory_bytes=8 * 2 * KB,
+                         eviction_policy="lru", trace=True)
+        pressure = MemoryPressure(node=1, start=0.0,
+                                  capacity_factor=0.25)
+        res, outs, cluster = self._run_under_pressure(pressure, cfg)
+        assert expected(outs)
+        assert cluster.trace.counters.get("mem.evict", 0) > 0
+
+    def test_fetch_failures_retry_with_backoff(self):
+        cfg = OMPCConfig(device_memory_bytes=8 * 2 * KB,
+                         eviction_policy="lru", trace=True,
+                         mem_fetch_retries=50)
+        pressure = MemoryPressure(node=1, start=0.0,
+                                  fetch_fail_prob=0.5)
+        res, outs, cluster = self._run_under_pressure(pressure, cfg)
+        assert expected(outs)
+        assert cluster.trace.counters.get("mem.fetch_retries", 0) > 0
+        assert cluster.faults.fetch_failures > 0
+
+    def test_exhausted_retries_raise(self):
+        cfg = OMPCConfig(device_memory_bytes=8 * 2 * KB,
+                         eviction_policy="lru", mem_fetch_retries=0)
+        pressure = MemoryPressure(node=1, start=0.0, fetch_fail_prob=1.0)
+        with pytest.raises(DeviceMemoryError, match="fetch"):
+            self._run_under_pressure(pressure, cfg)
+
+    def test_pressure_validation(self):
+        with pytest.raises(ValueError):
+            MemoryPressure(node=1, start=0.0, capacity_factor=0.0)
+        with pytest.raises(ValueError):
+            MemoryPressure(node=1, start=0.0, fetch_fail_prob=1.5)
+        with pytest.raises(ValueError):
+            MemoryPressure(node=1, start=5.0, end=5.0)
+
+
+class TestFaultTolerantTiering:
+    def _ft(self, cfg, **run_kw):
+        from repro.core.faults import FaultTolerantRuntime
+
+        rt = FaultTolerantRuntime(ClusterSpec(num_nodes=4), cfg)
+        prog, outs = chain_program(n=6)
+        res = rt.run(prog, **run_kw)
+        return res, outs, rt.last_cluster
+
+    def test_worker_crash_under_pressure(self):
+        from repro.core.faults import NodeFailure
+
+        cfg = OMPCConfig(device_memory_bytes=3 * 2 * KB,
+                         eviction_policy="lru", trace=True)
+        res, outs, cluster = self._ft(
+            cfg, failures=[NodeFailure(time=0.3 * MILLISECOND, node=2)],
+        )
+        assert expected(outs)
+        assert res.failures == [2]
+        assert cluster.trace.counters.get("mem.evict", 0) > 0
+
+    def test_ft_fetch_failures_retry_with_backoff(self):
+        cfg = OMPCConfig(device_memory_bytes=3 * 2 * KB,
+                         eviction_policy="lru", trace=True,
+                         mem_fetch_retries=50)
+        plan = FaultPlan(seed=7, pressures=[
+            MemoryPressure(node=1, start=0.0, fetch_fail_prob=0.5),
+        ])
+        res, outs, cluster = self._ft(cfg, fault_plan=plan)
+        assert expected(outs)
+        assert cluster.trace.counters.get("mem.fetch_retries", 0) > 0
+        assert cluster.faults.fetch_failures > 0
+
+    def test_ft_exhausted_retries_raise(self):
+        cfg = OMPCConfig(device_memory_bytes=3 * 2 * KB,
+                         eviction_policy="lru", mem_fetch_retries=0)
+        plan = FaultPlan(seed=7, pressures=[
+            MemoryPressure(node=1, start=0.0, fetch_fail_prob=1.0),
+        ])
+        with pytest.raises(DeviceMemoryError, match="fetch"):
+            self._ft(cfg, fault_plan=plan)
+
+
+class TestConfigValidation:
+    def test_policy_names(self):
+        OMPCConfig(eviction_policy="lru")
+        OMPCConfig(eviction_policy="cost")
+        with pytest.raises(ValueError):
+            OMPCConfig(eviction_policy="mru")
+
+    def test_retry_bounds(self):
+        with pytest.raises(ValueError):
+            OMPCConfig(mem_fetch_retries=-1)
+        with pytest.raises(ValueError):
+            OMPCConfig(mem_fetch_backoff=-1.0)
+
+
+class TestDeviceMemoryDiagnostics:
+    def test_alloc_error_names_buffer_task_and_resident_set(self):
+        mem = DeviceMemory(2, capacity_bytes=KB)
+        mem.alloc(1, nbytes=KB, label="A", owner="setup")
+        with pytest.raises(DeviceMemoryError) as err:
+            mem.alloc(2, nbytes=KB, label="B", owner="kern7")
+        msg = str(err.value)
+        assert "node 2" in msg
+        assert "out of device memory" in msg
+        assert "B" in msg and "kern7" in msg
+        assert "A" in msg  # resident set listed

@@ -1,0 +1,156 @@
+"""Regression tests: device memory is fully released across job turnover.
+
+Each launch builds a fresh :class:`EventSystem` (and with it fresh
+``DeviceMemory`` tables), so a job that completes, is preempted, or is
+killed by a crash must leave *nothing* resident for the next tenant.
+These tests run successive jobs on the **same physical nodes** with a
+device capacity tight enough that any leaked allocation from the
+previous occupant would push the newcomer over budget.
+"""
+
+import numpy as np
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.core import NodeFailure
+from repro.core.config import OMPCConfig
+from repro.core.memory import DeviceMemory
+from repro.jobs import ElasticConfig, ElasticJobManager, JobManager, JobState
+from repro.omp.api import OmpProgram
+from repro.omp.task import depend_in, depend_out
+from repro.util.units import MILLISECOND
+
+KB = 1024.0
+
+
+def mem_program(name, n=6, nbytes=2 * KB):
+    """Working set of ``n`` staged buffers plus ``n`` outputs."""
+    prog = OmpProgram(name)
+    bufs = [prog.buffer(nbytes, data=np.zeros(4), name=f"{name}-b{i}")
+            for i in range(n)]
+    outs = [prog.buffer(nbytes, data=np.zeros(4), name=f"{name}-o{i}")
+            for i in range(n)]
+    prog.target_enter_data(*bufs)
+    for i, (b, o) in enumerate(zip(bufs, outs)):
+        def kern(x, y, i=i):
+            y[:] = x + i + 1
+        prog.target(kern, depend=[depend_in(b), depend_out(o)],
+                    cost=0.3 * MILLISECOND, name=f"{name}-k{i}")
+    prog.target_exit_data(*outs)
+    return prog
+
+
+def tight_config(**kw):
+    # 3 slots for a 6-buffer working set: every job *must* evict, and
+    # any residue from a prior tenant would make admission impossible.
+    return OMPCConfig(device_memory_bytes=3 * 2 * KB,
+                      eviction_policy="lru", **kw)
+
+
+def mem_job(name, nodes, preemptible=False, priority=0,
+            fault_tolerant=False, failures=(), task_factory=mem_program):
+    from repro.jobs import JobSpec
+
+    return JobSpec(
+        name=name,
+        program=lambda: task_factory(name),
+        nodes=nodes,
+        priority=priority,
+        preemptible=preemptible,
+        fault_tolerant=fault_tolerant,
+        failures=tuple(failures),
+        config=tight_config(),
+        est_runtime=0.05,
+    )
+
+
+class _TrackMemories:
+    """Record every DeviceMemory built during the with-block."""
+
+    def __enter__(self):
+        self.instances: list[DeviceMemory] = []
+        self._orig = DeviceMemory.__init__
+        orig = self._orig
+        instances = self.instances
+
+        def tracked(mem, *args, **kwargs):
+            orig(mem, *args, **kwargs)
+            instances.append(mem)
+
+        DeviceMemory.__init__ = tracked
+        return self.instances
+
+    def __exit__(self, *exc):
+        DeviceMemory.__init__ = self._orig
+        return False
+
+
+class TestSequentialTenants:
+    def test_back_to_back_jobs_reuse_nodes_cleanly(self):
+        # A 4-node cluster has a 3-node pool, so both 3-node jobs land
+        # on the identical partition, one after the other.
+        mgr = JobManager(Cluster(ClusterSpec(num_nodes=4)))
+        report = mgr.run([
+            (0.0, mem_job("first", 3)),
+            (0.0, mem_job("second", 3)),
+        ])
+        assert report.completed == 2
+        first, second = mgr.jobs
+        assert first.partition == second.partition
+        assert second.start_time >= first.finish_time
+
+    def test_capacity_respected_across_tenancies(self):
+        mgr = JobManager(Cluster(ClusterSpec(num_nodes=4)))
+        with _TrackMemories() as memories:
+            report = mgr.run([
+                (0.0, mem_job("a", 3)),
+                (0.0, mem_job("b", 3)),
+            ])
+        assert report.completed == 2
+        capped = [m for m in memories if m.capacity_bytes is not None]
+        assert capped, "no capped DeviceMemory was built"
+        for mem in capped:
+            if mem.node_id == 0:
+                continue  # the head's table is host-side, uncapped use
+            assert mem.peak_bytes <= mem.capacity_bytes
+        # Isolation is structural: each launch builds a *fresh* set of
+        # device tables (one per cluster node), so a predecessor's
+        # leftovers cannot be charged to a successor.  Two 3-node jobs
+        # => two disjoint sets of 3 tables.
+        assert len(memories) == 2 * 3
+        first_set, second_set = memories[:3], memories[3:]
+        assert not set(map(id, first_set)) & set(map(id, second_set))
+
+
+class TestAbortedTenants:
+    def test_preempted_job_leaves_no_residue(self):
+        # The preemptible batch job is mid-run (buffers resident) when
+        # the urgent job evicts it and takes over the same nodes with
+        # the same tight budget.
+        mgr = ElasticJobManager(
+            Cluster(ClusterSpec(num_nodes=4)),
+            elastic=ElasticConfig(autoscale=False, max_preemptions=5),
+        )
+        report = mgr.run([
+            (0.0, mem_job("batch", 3, preemptible=True)),
+            (0.001, mem_job("urgent", 3, priority=10)),
+        ])
+        assert report.completed == 2
+        batch, urgent = mgr.jobs
+        assert batch.preemptions == 1
+        assert batch.state is JobState.COMPLETED
+        assert urgent.state is JobState.COMPLETED
+
+    def test_worker_crash_then_fresh_tenant(self):
+        # An FT job loses a worker mid-run; the follow-up job must get
+        # clean tables on the surviving nodes of the shrunken pool.
+        mgr = JobManager(Cluster(ClusterSpec(num_nodes=6)))
+        report = mgr.run([
+            (0.0, mem_job("victim", 4, fault_tolerant=True,
+                          failures=(NodeFailure(time=0.5 * MILLISECOND,
+                                                node=2),))),
+            (0.0, mem_job("after", 3)),
+        ])
+        assert report.completed == 2
+        victim, after = mgr.jobs
+        assert victim.result.failures == [2]
+        assert after.state is JobState.COMPLETED
