@@ -1,0 +1,207 @@
+"""Shard scaling: control-plane makespan vs head-shard count.
+
+The §7 scalability knee is a *control-plane* artifact: one head node
+dispatches every task through one ``head_threads`` slot pool, so once
+the cluster outgrows the head's dispatch bandwidth, adding nodes adds
+makespan.  The sharded control plane (``repro.core.shard``) splits
+task-graph ownership across K manager nodes; this sweep prices that
+split on a Task Bench stencil sized to be control-plane-bound (short
+0.5 ms kernels, width 2n), over 64 → 1024 nodes x 1/2/4/8 shards.
+
+``main`` emits ``BENCH_shard.json`` (schema ``repro-shard-scale/1``):
+per-cell simulated makespan, deterministic event counts, host wall
+time, and the shard counters (forwards/leases/cross-edges), plus one
+gossip-enabled cell whose round counter CI pins exactly.  The headline
+``acceptance`` block records the >= 1.5x improvement of 4 shards over
+1 at >= 512 nodes that the sharding work promises.
+
+Usage::
+
+    python benchmarks/bench_shard_scaling.py              # table
+    python benchmarks/bench_shard_scaling.py --json       # JSON to stdout
+    python benchmarks/bench_shard_scaling.py --quick --out BENCH_shard.json
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+from repro.bench.report import format_table
+from repro.cluster.machine import ClusterSpec
+from repro.core import OMPCConfig, OMPCRuntime
+from repro.taskbench import KernelSpec, Pattern, TaskBenchSpec
+from repro.taskbench.bench import build_omp_program
+
+SCHEMA = "repro-shard-scale/1"
+BANDWIDTH = 100e9 / 8.0
+
+#: Short kernels keep every cell control-plane-bound: at 0.5 ms x 3
+#: steps the head's dispatch path, not the compute, sets the makespan.
+KERNEL_SECONDS = 0.5e-3
+STEPS = 3
+
+NODE_SWEEP = (64, 128, 256, 512, 1024)
+SHARD_SWEEP = (1, 2, 4, 8)
+QUICK_NODES = (64,)
+QUICK_SHARDS = (1, 4)
+
+#: The acceptance cell: 4 shards must beat 1 by >= 1.5x here.
+ACCEPT_NODES = 512
+ACCEPT_SHARDS = 4
+ACCEPT_SPEEDUP = 1.5
+
+
+def _spec(nodes: int) -> TaskBenchSpec:
+    return TaskBenchSpec.with_ccr(
+        2 * nodes, STEPS, Pattern.STENCIL_1D,
+        KernelSpec.from_duration(KERNEL_SECONDS), 1.0, BANDWIDTH,
+    )
+
+
+def run_cell(nodes: int, shards: int, gossip: bool = False) -> dict:
+    """One sweep cell; returns the JSON-ready record."""
+    prog = build_omp_program(_spec(nodes))
+    cfg = OMPCConfig(head_shards=shards, gossip=gossip)
+    runtime = OMPCRuntime(ClusterSpec(num_nodes=nodes), cfg)
+    start = time.perf_counter()
+    res = runtime.run(prog)
+    wall = time.perf_counter() - start
+    events = runtime.last_cluster.sim._seq
+    name = f"shard_stencil_1d_n{nodes}_k{shards}"
+    if gossip:
+        name += "_gossip"
+    record = {
+        "name": name,
+        "nodes": nodes,
+        "shards": shards,
+        "gossip": gossip,
+        "makespan_s": round(res.makespan, 9),
+        "events": events,
+        "wall_s": round(wall, 6),
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+    }
+    for key in ("shard.forwards", "shard.leases", "shard.cross_edges",
+                "shard.dispatches"):
+        if key in res.counters:
+            record[key] = int(res.counters[key])
+    rounds = getattr(res, "gossip_rounds", 0)
+    if gossip:
+        record["gossip_rounds"] = rounds
+    return record
+
+
+def run_sweep(quick: bool = False) -> dict:
+    nodes_sweep = QUICK_NODES if quick else NODE_SWEEP
+    shard_sweep = QUICK_SHARDS if quick else SHARD_SWEEP
+    cells = [
+        run_cell(n, k) for n in nodes_sweep for k in shard_sweep
+    ]
+    # One gossip cell: deterministic, CI pins its exact counters.
+    cells.append(run_cell(64, 4, gossip=True))
+
+    by = {(c["nodes"], c["shards"], c["gossip"]): c for c in cells}
+    accept_nodes = ACCEPT_NODES if not quick else max(nodes_sweep)
+    base = by.get((accept_nodes, 1, False))
+    best = by.get((accept_nodes, ACCEPT_SHARDS, False))
+    acceptance = None
+    if base is not None and best is not None:
+        acceptance = {
+            "nodes": accept_nodes,
+            "shards": ACCEPT_SHARDS,
+            "makespan_speedup": round(
+                base["makespan_s"] / best["makespan_s"], 3
+            ),
+            "events_per_sec_ratio": round(
+                best["events_per_sec"] / base["events_per_sec"], 3
+            ),
+            "required": ACCEPT_SPEEDUP,
+        }
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernel_seconds": KERNEL_SECONDS,
+        "steps": STEPS,
+        "cells": cells,
+        "acceptance": acceptance,
+    }
+
+
+class TestShardScaling:
+    """The headline claim at a CI-friendly scale."""
+
+    def test_bench_four_shards_beat_one_at_256_nodes(self, benchmark):
+        def sweep():
+            return run_cell(256, 1), run_cell(256, 4)
+
+        single, sharded = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        assert sharded["makespan_s"] * ACCEPT_SPEEDUP \
+            < single["makespan_s"], (
+                "4 shards must cut the control-plane-bound makespan by "
+                ">= 1.5x over the single head"
+            )
+
+    def test_bench_gossip_cell_is_deterministic(self, benchmark):
+        def twice():
+            return run_cell(64, 4, gossip=True), \
+                run_cell(64, 4, gossip=True)
+
+        first, second = benchmark.pedantic(twice, rounds=1, iterations=1)
+        for key in ("makespan_s", "events", "gossip_rounds",
+                    "shard.forwards"):
+            assert first[key] == second[key]
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="64-node cells only (CI smoke)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON document to stdout")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON document to this path")
+    args = parser.parse_args(argv)
+
+    doc = run_sweep(quick=args.quick)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        rows = []
+        for cell in doc["cells"]:
+            rows.append([
+                cell["nodes"],
+                cell["shards"],
+                "on" if cell["gossip"] else "off",
+                f"{cell['makespan_s'] * 1e3:.2f}",
+                cell["events"],
+                f"{cell['wall_s']:.2f}",
+                cell.get("shard.forwards", 0),
+            ])
+        print(format_table(
+            ["nodes", "shards", "gossip", "makespan (ms)", "events",
+             "wall (s)", "forwards"],
+            rows,
+            title="Abl. S — sharded control plane on a Task Bench "
+                  f"stencil ({KERNEL_SECONDS * 1e3:.1f} ms kernels)",
+        ))
+        if doc["acceptance"]:
+            acc = doc["acceptance"]
+            print(
+                f"acceptance @ n={acc['nodes']}: "
+                f"{acc['shards']} shards = "
+                f"{acc['makespan_speedup']:.2f}x makespan speedup "
+                f"(required >= {acc['required']}x)"
+            )
+
+
+if __name__ == "__main__":
+    main()

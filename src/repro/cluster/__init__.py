@@ -10,7 +10,12 @@ Communication Interfaces (VCIs).
 from repro.cluster.machine import Cluster, ClusterSpec
 from repro.cluster.network import Network, NetworkSpec, Nic
 from repro.cluster.node import Node, NodeSpec
-from repro.cluster.partition import ClusterView, NodePool, PartitionError
+from repro.cluster.partition import (
+    ClusterView,
+    NodePool,
+    PartitionError,
+    shard_reserved,
+)
 from repro.cluster.trace import Span, TraceRecorder
 
 __all__ = [
@@ -26,4 +31,5 @@ __all__ = [
     "PartitionError",
     "Span",
     "TraceRecorder",
+    "shard_reserved",
 ]

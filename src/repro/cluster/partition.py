@@ -262,6 +262,20 @@ class ClusterView:
         return f"<ClusterView {self.name!r} nodes={self.node_ids}>"
 
 
+def shard_reserved(head_shards: int) -> tuple[int, ...]:
+    """Reserved node ids for a sharded control plane.
+
+    A run with ``head_shards == K`` pins its shard managers on nodes
+    ``0..K-1`` (node 0 stays the host shard), exactly like the job
+    manager reserving node 0 for itself.  Pass the result as
+    ``NodePool(cluster, reserved=shard_reserved(k))`` so jobs never land
+    on a manager node.
+    """
+    if head_shards < 1:
+        raise PartitionError(f"head_shards must be >= 1, got {head_shards}")
+    return tuple(range(head_shards))
+
+
 class NodePool:
     """Allocator of disjoint node partitions on one physical cluster.
 

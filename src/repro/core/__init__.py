@@ -33,9 +33,17 @@ from repro.core.faults import (
     NodeFailure,
     RecoveryError,
 )
+from repro.core.gossip import GossipMembership
 from repro.core.headlog import HeadLog, LogRecord, Replicator
 from repro.core.memory import DeviceMemory, DeviceMemoryError
 from repro.core.runtime import OMPCRunResult, OMPCRuntime
+from repro.core.shard import (
+    ShardDirectory,
+    ShardedRuntime,
+    ShardPlaneError,
+    ShardRunResult,
+    ShardStats,
+)
 from repro.core.scheduler import (
     HeftScheduler,
     MinLoadScheduler,
@@ -53,6 +61,7 @@ __all__ = [
     "FailureInjector",
     "FaultPlan",
     "FaultTolerantRuntime",
+    "GossipMembership",
     "HeadLog",
     "HeartbeatRing",
     "HeftScheduler",
@@ -72,4 +81,9 @@ __all__ = [
     "Replicator",
     "RoundRobinScheduler",
     "Schedule",
+    "ShardDirectory",
+    "ShardPlaneError",
+    "ShardRunResult",
+    "ShardStats",
+    "ShardedRuntime",
 ]

@@ -130,6 +130,38 @@ class OMPCConfig:
     #: suspect dead.
     heartbeat_ping_timeout: float = 1.0 * MILLISECOND
 
+    # -- sharded control plane (repro.core.shard extension) -----------------
+    #: Number of head shards the control plane is partitioned across.
+    #: 1 (the default) is the paper's single-head runtime — the event
+    #: stream stays bit-identical to the historical kernel.  With K > 1
+    #: nodes ``0..K-1`` become shard-manager nodes, each owning a
+    #: consistent-hash slice of the task graph with its own scheduler
+    #: instance and ``head_threads`` dispatch slots (the §7 knee is per
+    #: shard), and cross-shard dependences resolve through
+    #: lease/subscription messages between managers.
+    head_shards: int = 1
+    #: Graph-partition policy of the shard directory: ``"hash"``
+    #: (consistent hashing of the task's affinity key — the default) or
+    #: ``"block"`` (contiguous blocks of affinity keys, minimizing
+    #: cross-shard edges on neighbor-structured graphs).  Pluggable: the
+    #: :class:`~repro.core.shard.ShardDirectory` also accepts a custom
+    #: policy object directly.
+    shard_policy: str = "hash"
+    #: SWIM-style gossip membership (repro.core.gossip) instead of the
+    #: O(N)-fan-in heartbeat ring.  Off by default (digest identity);
+    #: sharded runs with failures require it — the ring's confirm
+    #: machinery assumes a single head.
+    gossip: bool = False
+    #: Gossip protocol period (one probe per node per period).
+    gossip_interval: float = 1.0 * MILLISECOND
+    #: Indirect probers asked to verify an unresponsive probe target
+    #: before it is suspected (the SWIM k).
+    gossip_fanout: int = 3
+    #: Maximum membership updates piggybacked on one probe/ack.
+    gossip_piggyback: int = 8
+    #: Root seed of the per-node probe-order streams.
+    gossip_seed: int = 0
+
     # -- head failover (repro.core.headlog extension) -----------------------
     #: Standby workers replicating the head's commit log (nodes
     #: ``1..head_standbys``, clamped to the worker count).  0 disables
@@ -190,6 +222,16 @@ class OMPCConfig:
             raise ValueError("heartbeat_suspect_windows must be >= 1")
         if self.heartbeat_ping_timeout <= 0:
             raise ValueError("heartbeat_ping_timeout must be > 0")
+        if self.head_shards < 1:
+            raise ValueError("head_shards must be >= 1")
+        if self.shard_policy not in ("hash", "block"):
+            raise ValueError("shard_policy must be 'hash' or 'block'")
+        if self.gossip_interval <= 0:
+            raise ValueError("gossip_interval must be > 0")
+        if self.gossip_fanout < 0:
+            raise ValueError("gossip_fanout must be >= 0")
+        if self.gossip_piggyback < 1:
+            raise ValueError("gossip_piggyback must be >= 1")
         if self.head_standbys < 0:
             raise ValueError("head_standbys must be >= 0 (0 = off)")
         if self.replication_max_lag < 1:

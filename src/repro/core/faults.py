@@ -293,6 +293,19 @@ class HeartbeatRing:
         self._confirming: set[int] = set()
         self._pong_seq = itertools.count()
         self._stopped = False
+        #: Ring-neighbor scan cursors.  Dead/failed nodes never come
+        #: back, so each node's live successor/predecessor only ever
+        #: advances — resuming the skip scan from the last answer makes
+        #: the per-window neighbor lookup O(1) amortized instead of
+        #: O(dead) per window.
+        self._succ_cache: dict[int, int] = {}
+        self._pred_cache: dict[int, int] = {}
+        #: Per-source suspect-report window: one wheel-interned timer
+        #: event per reporter.  While a reporter's previous report is
+        #: still inside its window the new one is suppressed, so a mass
+        #: failure costs the head one report per *source* per window
+        #: instead of an unbounded fan-in on SUSPECT_TAG.
+        self._report_gate: dict[int, object] = {}
         #: Batched timers for the periodic sender/monitor waits; pings
         #: and verdicts keep private timers (they are rare and their
         #: deadlines are almost never aligned).
@@ -334,10 +347,14 @@ class HeartbeatRing:
         while not self._stopped:
             if self.events.node_failed(node):
                 return  # this node has crashed; no more beats
-            successor = (node + 1) % n
-            # Skip dead successors so the ring stays closed.
+            # Skip dead successors so the ring stays closed.  The scan
+            # resumes from the previous window's successor: failures are
+            # permanent, so the first live successor only moves forward
+            # and the cursor makes this O(1) amortized.
+            successor = self._succ_cache.get(node, (node + 1) % n)
             while not self._alive(successor) and successor != node:
                 successor = (successor + 1) % n
+            self._succ_cache[node] = successor
             if successor != node:
                 rank.isend(successor, ("hb", node, seq),
                            self.heartbeat_bytes, tag=HB_TAG)
@@ -392,7 +409,15 @@ class HeartbeatRing:
                 )
                 continue
             # Suspect: the fabric may merely have dropped or delayed the
-            # beats, so ask the head to confirm with a direct ping.
+            # beats, so ask the head to confirm with a direct ping — at
+            # most one report per window from this source (the gate
+            # timer is wheel-interned, so it is usually the very same
+            # event as a monitor deadline).
+            gate = self._report_gate.get(node)
+            if gate is not None and not gate._processed:
+                self.obs.count("hb.reports_suppressed")
+                continue
+            self._report_gate[node] = self._after(self.timeout)
             rank.isend(self.head, ("suspect", watched, node),
                        self.heartbeat_bytes, tag=SUSPECT_TAG)
 
@@ -539,11 +564,18 @@ class HeartbeatRing:
                        tag=msg.payload)
 
     def _predecessor(self, node: int) -> int | None:
-        """The nearest ring predecessor this node *believes* is alive."""
+        """The nearest ring predecessor this node *believes* is alive.
+
+        Declarations are permanent, so the answer only ever moves
+        further back around the ring; the scan resumes from the cached
+        previous answer — O(1) amortized across the whole run instead
+        of O(dead) per heartbeat window.
+        """
         n = self.cluster.num_nodes
-        pred = (node - 1) % n
+        pred = self._pred_cache.get(node, (node - 1) % n)
         while pred != node:
             if pred not in self._dead:
+                self._pred_cache[node] = pred
                 return pred
             pred = (pred - 1) % n
         return None
@@ -671,6 +703,12 @@ class FaultTolerantRuntime:
             )
         self.cluster_spec = cluster_spec
         self.config = config or OMPCConfig()
+        if self.config.head_shards > 1:
+            raise ValueError(
+                "FaultTolerantRuntime drives a single head; sharded "
+                "runs (head_shards > 1) go through OMPCRuntime, which "
+                "delegates to repro.core.shard.ShardedRuntime"
+            )
         self.scheduler = scheduler or HeftScheduler(
             exec_slots_per_node=self.config.event_handlers
         )
@@ -750,14 +788,32 @@ class FaultTolerantRuntime:
         mpi = MpiWorld(cluster, transport=transport)
         events = EventSystem(cluster, mpi, self.config)
         cfg = self.config
-        ring = HeartbeatRing(
-            cluster, mpi, events,
-            interval=self.heartbeat_interval,
-            timeout=self.heartbeat_timeout,
-            suspect_windows=cfg.heartbeat_suspect_windows,
-            ping_timeout=cfg.heartbeat_ping_timeout,
-            use_wheel=self.heartbeat_wheel,
-        )
+        if cfg.gossip:
+            # SWIM-style gossip membership (repro.core.gossip): O(1)
+            # probes per node per round instead of the ring's O(N)
+            # suspect-report fan-in at the head.  Feeds the exact same
+            # suspect -> head-confirm pipeline via on_detect /
+            # on_head_detect, so failover below is unchanged.
+            from repro.core.gossip import GossipMembership
+
+            ring = GossipMembership(
+                cluster, mpi, events,
+                interval=cfg.gossip_interval,
+                ping_timeout=cfg.heartbeat_ping_timeout,
+                fanout=cfg.gossip_fanout,
+                piggyback=cfg.gossip_piggyback,
+                seed=cfg.gossip_seed,
+                use_wheel=self.heartbeat_wheel,
+            )
+        else:
+            ring = HeartbeatRing(
+                cluster, mpi, events,
+                interval=self.heartbeat_interval,
+                timeout=self.heartbeat_timeout,
+                suspect_windows=cfg.heartbeat_suspect_windows,
+                ping_timeout=cfg.heartbeat_ping_timeout,
+                use_wheel=self.heartbeat_wheel,
+            )
         dm = DataManager(analysis=analysis if analysis.enabled else None)
         if cfg.device_memory_bytes > 0 and cfg.eviction_policy != "none":
             # Tiered data plane (repro.core.tiering) under fault

@@ -97,11 +97,14 @@ class OMPCRuntime:
         self.config = config or OMPCConfig()
         # The default HEFT models each worker's concurrent-execution
         # capacity, which the event-handler pool bounds (§4.2).
+        self._scheduler_provided = scheduler is not None
         self.scheduler = scheduler or HeftScheduler(
             exec_slots_per_node=self.config.event_handlers
         )
         #: The cluster of the most recent run (for inspection in tests).
         self.last_cluster: Cluster | None = None
+        #: The sharded delegate when ``config.head_shards > 1``.
+        self._sharded = None
 
     # ------------------------------------------------------------------
     def run(self, program: OmpProgram) -> OMPCRunResult:
@@ -123,6 +126,25 @@ class OMPCRuntime:
         duration, not the absolute clock), and ``finish()`` must be
         called only after the returned process has completed.
         """
+        if self.config.head_shards > 1:
+            # Sharded control plane (repro.core.shard): K managers, each
+            # with its own scheduler instance and head_threads pool.
+            # head_shards == 1 never reaches this import, keeping the
+            # classic single-head path — and its event stream — byte-
+            # for-byte untouched.
+            from repro.core.shard.plane import ShardedRuntime
+
+            if self._sharded is None:
+                self._sharded = ShardedRuntime(
+                    self.cluster_spec, self.config,
+                    scheduler=(
+                        self.scheduler if self._scheduler_provided
+                        else None
+                    ),
+                )
+            main_proc, finish = self._sharded.launch(program, cluster)
+            self.last_cluster = self._sharded.last_cluster
+            return main_proc, finish
         program.validate()
         if cluster is None:
             cluster = Cluster(self.cluster_spec)

@@ -1,0 +1,825 @@
+"""The sharded control plane: K shard managers drive one task graph.
+
+The classic runtime (:class:`~repro.core.runtime.OMPCRuntime`) is the
+paper's design: one head node owns the whole task graph, and every
+in-flight task blocks one of ``head_threads`` OpenMP slots — the §7
+knee.  :class:`ShardedRuntime` breaks the knee by partitioning control:
+
+* nodes ``0..K-1`` are reserved *shard-manager* nodes (like the job
+  manager's reserved node in :mod:`repro.cluster.partition`); node 0
+  doubles as the host (shard 0 owns classical and ``exit data`` work);
+* the remaining nodes are compute workers, sliced contiguously so each
+  shard schedules — with its **own scheduler instance** over its own
+  subgraph — and dispatches — with its **own** ``head_threads`` slot
+  pool — against a private node set;
+* task/buffer ownership comes from the
+  :class:`~repro.core.shard.directory.ShardDirectory` (consistent hash
+  of the affinity key by default, pluggable policy hook);
+* cross-shard dependences resolve by **lease/subscription**: at plane
+  start-up each shard sends one LEASE per remote producer task it
+  depends on; the owner replies with a NOTIFY when (or immediately if)
+  the producer completed.  No polling, and consumers dedup
+  notifications by task id exactly like the PR 3 worker-side dispatch
+  dedup — a failover's replayed messages are no-ops;
+* each shard reuses :mod:`repro.core.headlog` for failover: dispatches,
+  completions, and processed notifications append to a per-shard
+  commit log replicated to ``head_standbys`` standbys drawn from the
+  shard's worker slice.  On a gossip-confirmed manager death the
+  standard election/adopt/replay sequence promotes a standby, the
+  shard's slot pool and service loops restart on the winner, leases
+  are re-sent for unsatisfied subscriptions (closing the lost-NOTIFY
+  window) and in-flight tasks are re-dispatched with ``dedup=True``;
+* membership is :class:`~repro.core.gossip.GossipMembership` (SWIM),
+  not the O(N) heartbeat ring — required whenever failures are
+  injected, optional otherwise.
+
+Input staging is *sharded ingest*: each manager stages its shard's
+host-resident buffers itself (``events.submit`` with the manager as
+origin), so enter-data traffic does not all funnel through node 0.
+Host-side retrieval (``exit data``) still lands on node 0, which owns
+that work by construction.
+
+Deliberately out of scope (validated): the tiered memory store and
+broadcast events (single-head features, see ROADMAP), and failures of
+node 0 itself — root-head failover is
+:class:`~repro.core.faults.FaultTolerantRuntime`'s job.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hooks import Analysis
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.core.config import OMPCConfig
+from repro.core.datamanager import HOST, DataManager, Move
+from repro.core.events import EventSystem
+from repro.core.gossip import GossipMembership
+from repro.core.headlog import HeadLog, Replicator
+from repro.core.scheduler import HeftScheduler, Schedule, Scheduler
+from repro.core.shard.directory import PartitionPolicy, ShardDirectory
+from repro.core.shard.messages import LEASE_TAG, NOTIFY_TAG
+from repro.core.shard.report import ShardRunResult, ShardStats
+from repro.mpi.comm import MpiWorld
+from repro.obs.observer import Observer
+from repro.omp.api import OmpProgram
+from repro.omp.task import Task, TaskKind
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.primitives import AllOf
+from repro.sim.resources import Resource
+
+
+class ShardPlaneError(SimulationError):
+    """Unrecoverable sharded-control-plane failure."""
+
+
+class _Shard:
+    """Mutable runtime state of one shard manager."""
+
+    __slots__ = (
+        "sid", "manager", "nodes", "slots", "procs", "issued",
+        "subs", "notified", "log", "repl", "pumps", "failing",
+        "stats", "sub_edges",
+    )
+
+    def __init__(self, sid: int, manager: int, nodes: tuple[int, ...]):
+        self.sid = sid
+        self.manager = manager
+        self.nodes = nodes
+        self.slots: Resource | None = None
+        #: Live control-frame processes (interrupted on failover).
+        self.procs: set = set()
+        #: Task ids ever handed to a control frame this epoch.
+        self.issued: set[int] = set()
+        #: producer task id → subscriber shard ids (never popped: kept
+        #: for failover re-notification).
+        self.subs: dict[int, set[int]] = {}
+        #: Remote producer ids whose NOTIFY this shard has processed.
+        self.notified: set[int] = set()
+        self.log: HeadLog | None = None
+        self.repl: Replicator | None = None
+        self.pumps: list = []
+        self.failing = False
+        self.stats: ShardStats | None = None
+        self.sub_edges = 0
+
+
+class _ShardClusterFacade:
+    """What a shard's private scheduler sees: the full fabric and node
+    table, but only the shard's compute slice as ``workers``."""
+
+    def __init__(self, cluster, nodes: tuple[int, ...], manager: int):
+        self._cluster = cluster
+        self._nodes = nodes
+        self._manager = manager
+        self.network = cluster.network
+
+    @property
+    def num_nodes(self) -> int:
+        return self._cluster.num_nodes
+
+    @property
+    def head(self):
+        return self._cluster.node(self._manager)
+
+    @property
+    def workers(self):
+        return [self._cluster.node(n) for n in self._nodes]
+
+    def node(self, node_id: int):
+        return self._cluster.node(node_id)
+
+
+class ShardedRuntime:
+    """Run OmpPrograms through K shard managers instead of one head.
+
+    ``inject_failures`` is the chaos hook: ``((time, node), ...)``
+    crashes of shard-manager nodes (never node 0 — see the module
+    docstring), requiring ``gossip=True`` and ``head_standbys >= 1``.
+    """
+
+    def __init__(
+        self,
+        cluster_spec: ClusterSpec,
+        config: OMPCConfig | None = None,
+        scheduler: Scheduler | None = None,
+        policy: PartitionPolicy | None = None,
+        inject_failures: tuple = (),
+    ):
+        cfg = config or OMPCConfig()
+        k = cfg.head_shards
+        if k < 2:
+            raise ValueError(
+                "ShardedRuntime needs head_shards >= 2 (use OMPCRuntime "
+                "for the single-head plane)"
+            )
+        if cluster_spec.num_nodes < 2 * k:
+            raise ValueError(
+                f"{k} shards need >= {2 * k} nodes (one manager plus at "
+                f"least one worker each), got {cluster_spec.num_nodes}"
+            )
+        if cfg.device_memory_bytes > 0 and cfg.eviction_policy != "none":
+            raise ValueError(
+                "the sharded control plane does not support the tiered "
+                "memory store yet (single-head MemoryDirector)"
+            )
+        if cfg.broadcast_events:
+            raise ValueError(
+                "the sharded control plane does not support broadcast "
+                "events yet"
+            )
+        injections = tuple(
+            (float(t), int(node)) for t, node in inject_failures
+        )
+        if injections:
+            if not cfg.gossip:
+                raise ValueError(
+                    "failure injection in sharded runs requires "
+                    "gossip=True (the heartbeat ring assumes one head)"
+                )
+            if cfg.head_standbys < 1:
+                raise ValueError(
+                    "failure injection requires head_standbys >= 1 for "
+                    "the per-shard replication log"
+                )
+            for _t, node in injections:
+                if node == 0:
+                    raise ValueError(
+                        "node 0 (the host shard manager) cannot be "
+                        "killed here; root-head failover is "
+                        "FaultTolerantRuntime's job"
+                    )
+                if not 1 <= node < k:
+                    raise ValueError(
+                        f"only shard-manager nodes (1..{k - 1}) may be "
+                        f"killed in the sharded plane, got {node}"
+                    )
+        self.cluster_spec = cluster_spec
+        self.config = cfg
+        self.num_shards = k
+        self.scheduler = scheduler
+        self.policy = policy
+        self.inject_failures = injections
+        self.last_cluster: Cluster | None = None
+        self.last_directory: ShardDirectory | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def compute_slices(num_nodes: int, k: int) -> list[tuple[int, ...]]:
+        """Contiguous worker slices: shard s owns its share of K..N-1."""
+        workers = list(range(k, num_nodes))
+        w = len(workers)
+        return [
+            tuple(workers[s * w // k:(s + 1) * w // k]) for s in range(k)
+        ]
+
+    def run(self, program: OmpProgram) -> ShardRunResult:
+        main_proc, finish = self.launch(program)
+        main_proc.sim.run(until=main_proc)
+        return finish()
+
+    # ------------------------------------------------------------------
+    def launch(self, program: OmpProgram, cluster=None):
+        """Set up one sharded execution; returns ``(main_proc, finish)``
+        with :class:`~repro.core.runtime.OMPCRuntime.launch` semantics."""
+        program.validate()
+        cfg = self.config
+        k = self.num_shards
+        if cluster is None:
+            cluster = Cluster(self.cluster_spec)
+        elif cluster.num_nodes != self.cluster_spec.num_nodes:
+            raise ValueError(
+                f"cluster has {cluster.num_nodes} nodes, spec expects "
+                f"{self.cluster_spec.num_nodes}"
+            )
+        self.last_cluster = cluster
+        sim = cluster.sim
+        t0 = sim.now
+        if cfg.trace and not cluster.obs.enabled:
+            cluster.install_observer(Observer(sim))
+        obs = cluster.obs
+        if cfg.analysis and not cluster.analysis.enabled:
+            cluster.install_analysis(Analysis())
+        analysis = cluster.analysis
+        mpi = MpiWorld(cluster)
+        events = EventSystem(cluster, mpi, cfg)
+        dm = DataManager(analysis=analysis if analysis.enabled else None)
+        analysis.program_begin(program)
+        trace = cluster.trace
+        graph = program.graph
+
+        directory = ShardDirectory(
+            graph, k, self.policy if self.policy is not None
+            else cfg.shard_policy,
+        )
+        self.last_directory = directory
+        trace.count("shard.cross_edges", len(directory.cross_edges))
+        lease_needs = directory.lease_needs()
+
+        slices = self.compute_slices(cluster.num_nodes, k)
+        shards = [_Shard(s, s, slices[s]) for s in range(k)]
+        owner_of = directory.owner_of
+
+        # -- per-shard scheduling (own scheduler instance each) -----------
+        def shard_scheduler() -> Scheduler:
+            if self.scheduler is not None:
+                return self.scheduler
+            return HeftScheduler(exec_slots_per_node=cfg.event_handlers)
+
+        assignment: dict[int, int] = {}
+        planned: dict[int, tuple[float, float]] = {}
+        for shard in shards:
+            sub = directory.subgraph(shard.sid)
+            shard.sub_edges = sub.num_edges
+            facade = _ShardClusterFacade(cluster, shard.nodes,
+                                         shard.manager)
+            sched = shard_scheduler().schedule(sub, facade)
+            assignment.update(sched.assignment)
+            planned.update(sched.planned)
+            shard.stats = ShardStats(
+                shard=shard.sid, manager=shard.manager,
+                nodes=shard.nodes, tasks=len(sub),
+            )
+        schedule = Schedule(assignment, planned)
+
+        result = ShardRunResult(
+            makespan=0.0,
+            startup_time=0.0,
+            scheduling_time=0.0,
+            shutdown_time=0.0,
+            schedule=schedule,
+        )
+
+        remaining = {t.task_id: graph.in_degree(t) for t in graph.tasks()}
+        pending = len(remaining)
+        completed: set[int] = set()
+        dm_done: set[int] = set()
+        all_done = sim.event("all-tasks-done")
+        plane_up = sim.event("shard-plane-up")
+        shard_comm = mpi.new_communicator(service=True)
+        for shard in shards:
+            shard.slots = Resource(
+                sim, capacity=cfg.head_threads,
+                name=f"shard{shard.sid}-threads",
+            )
+
+        membership = None
+        if cfg.gossip:
+            membership = GossipMembership(
+                cluster, mpi, events,
+                interval=cfg.gossip_interval,
+                ping_timeout=cfg.heartbeat_ping_timeout,
+                fanout=cfg.gossip_fanout,
+                piggyback=cfg.gossip_piggyback,
+                seed=cfg.gossip_seed,
+            )
+
+        if cfg.head_standbys > 0:
+            for shard in shards:
+                standbys = list(
+                    shard.nodes[:min(cfg.head_standbys, len(shard.nodes))]
+                )
+                shard.log = HeadLog(record_bytes=cfg.log_record_bytes)
+                shard.repl = Replicator(
+                    sim, mpi, events, shard.log, standbys,
+                    head=shard.manager, max_lag=cfg.replication_max_lag,
+                    election_bytes=cfg.log_record_bytes,
+                )
+
+        def fail_run(exc: Exception) -> None:
+            if not all_done.triggered:
+                all_done.fail(exc)
+
+        def log_append(shard: _Shard, kind: str, **data) -> None:
+            if shard.log is not None:
+                shard.log.append(kind, **data)
+                shard.repl.notify()
+
+        # -- dependence resolution ----------------------------------------
+        def spawn_task(task: Task) -> None:
+            shard = shards[owner_of(task.task_id)]
+            if shard.failing or task.task_id in shard.issued:
+                # Mid-failover (the restart rescan picks it up) or
+                # already in flight this epoch.
+                return
+            shard.issued.add(task.task_id)
+            _spawn_frame(shard, task, dedup=False)
+
+        def _spawn_frame(shard: _Shard, task: Task, dedup: bool) -> None:
+            def body():
+                try:
+                    yield from run_task(shard, task, dedup)
+                except Interrupt:
+                    return  # manager died; failover re-issues the work
+                except SimulationError as exc:
+                    fail_run(exc)
+                finally:
+                    shard.procs.discard(proc)
+
+            proc = sim.process(body(), name=f"task:{task.name}")
+            shard.procs.add(proc)
+
+        def complete(task: Task) -> None:
+            nonlocal pending
+            tid = task.task_id
+            if tid in completed:
+                return
+            completed.add(tid)
+            pending -= 1
+            shard = shards[owner_of(tid)]
+            shard.stats.dispatched += 1
+            log_append(shard, "done", task=tid)
+            for succ in graph.successors(task):
+                if owner_of(succ.task_id) == shard.sid:
+                    remaining[succ.task_id] -= 1
+                    if remaining[succ.task_id] == 0:
+                        spawn_task(succ)
+            subscribers = shard.subs.get(tid)
+            if subscribers:
+                for sc in sorted(subscribers):
+                    send_notify(shard, tid, sc)
+            if pending == 0 and not all_done.triggered:
+                all_done.succeed()
+
+        def send_notify(shard: _Shard, producer_id: int, sc: int) -> None:
+            trace.count("shard.forwards")
+            shard.stats.forwards_sent += 1
+            shard_comm.rank(shard.manager).isend(
+                shards[sc].manager,
+                ("notify", producer_id, shard.sid),
+                cfg.notification_bytes, tag=NOTIFY_TAG,
+            )
+
+        def send_lease(shard: _Shard, producer_id: int) -> None:
+            trace.count("shard.leases")
+            shard.stats.leases_sent += 1
+            sp = owner_of(producer_id)
+            shard_comm.rank(shard.manager).isend(
+                shards[sp].manager,
+                ("lease", producer_id, shard.sid),
+                cfg.notification_bytes, tag=LEASE_TAG,
+            )
+
+        def lease_service(shard: _Shard, node: int):
+            """Producer-side subscriptions, running on ``node`` while it
+            is this shard's manager."""
+            rank = shard_comm.rank(node)
+            while True:
+                msg = yield from rank.recv(tag=LEASE_TAG)
+                if events.node_failed(node) or shard.manager != node:
+                    return
+                _kind, producer_id, sc = msg.payload
+                shard.subs.setdefault(producer_id, set()).add(sc)
+                if producer_id in completed:
+                    # The race-free no-barrier path: the producer beat
+                    # the lease; answer immediately.
+                    send_notify(shard, producer_id, sc)
+
+        def notify_service(shard: _Shard, node: int):
+            """Consumer-side completion notifications."""
+            rank = shard_comm.rank(node)
+            while True:
+                msg = yield from rank.recv(tag=NOTIFY_TAG)
+                if events.node_failed(node) or shard.manager != node:
+                    return
+                _kind, producer_id, _sp = msg.payload
+                if producer_id in shard.notified:
+                    trace.count("shard.dedup_hits")
+                    shard.stats.dedup_hits += 1
+                    continue
+                shard.notified.add(producer_id)
+                log_append(shard, "notify", task=producer_id)
+                producer = graph.task(producer_id)
+                for succ in graph.successors(producer):
+                    if owner_of(succ.task_id) == shard.sid:
+                        remaining[succ.task_id] -= 1
+                        if remaining[succ.task_id] == 0:
+                            spawn_task(succ)
+
+        def start_services(shard: _Shard) -> None:
+            node = shard.manager
+            sim.process(lease_service(shard, node),
+                        name=f"shard{shard.sid}-lease@{node}")
+            sim.process(notify_service(shard, node),
+                        name=f"shard{shard.sid}-notify@{node}")
+
+        def shielded(gen):
+            """Absorb the failover-teardown Interrupt.
+
+            Replication pumps have no waiter by design, and a failing
+            process with no waiter crashes the whole simulation.
+            """
+            try:
+                yield from gen
+            except Interrupt:
+                return
+
+        # -- buffer movement (per-manager origin) --------------------------
+        def perform_move(shard: _Shard, move: Move):
+            buf = move.buffer
+            origin = shard.manager
+            move_span = obs.begin(
+                "data", f"move:{buf.name}", 0,
+                src=move.src, dst=move.dst, nbytes=buf.nbytes,
+            ) if obs.enabled else None
+            if move.src == HOST:
+                # Sharded ingest: the manager stages its shard's
+                # host-resident inputs itself.
+                yield from events.submit(move.dst, buf.buffer_id,
+                                         buf.data, buf.nbytes,
+                                         origin=origin, label=buf.name)
+            elif move.dst == HOST:
+                payload = yield from events.retrieve(
+                    move.src, buf.buffer_id, buf.nbytes, origin=origin
+                )
+                buf.data = payload
+            elif cfg.forwarding_enabled:
+                yield from events.exchange(
+                    move.src, move.dst, buf.buffer_id, buf.nbytes,
+                    origin=origin, label=buf.name,
+                )
+            else:
+                payload = yield from events.retrieve(
+                    move.src, buf.buffer_id, buf.nbytes, origin=origin
+                )
+                yield from events.submit(move.dst, buf.buffer_id, payload,
+                                         buf.nbytes, origin=origin,
+                                         label=buf.name)
+            dm.commit_move(move)
+            if move_span is not None:
+                obs.end(move_span)
+
+        def perform_moves(shard: _Shard, moves: list[Move]):
+            if not moves:
+                return
+            if len(moves) == 1:
+                yield from perform_move(shard, moves[0])
+                return
+            procs = [
+                sim.process(perform_move(shard, m),
+                            name=f"move:{m.buffer.name}")
+                for m in moves
+            ]
+            yield AllOf(sim, procs)
+
+        def perform_deletes(shard: _Shard, stale: list):
+            for buf, holder in stale:
+                if holder != HOST:
+                    yield from events.delete(holder, buf.buffer_id,
+                                             origin=shard.manager)
+                    dm.mem_release(buf, holder)
+
+        # -- per-task execution --------------------------------------------
+        def run_task(shard: _Shard, task: Task, dedup: bool):
+            enabled = obs.enabled
+            # Capture the epoch's slot pool: a failover replaces
+            # ``shard.slots``, and a frame interrupted mid-task must
+            # release into the pool it acquired from, not the fresh one.
+            slots = shard.slots
+            yield slots.request()
+            if enabled:
+                obs.gauge_add("head.inflight", 1)
+            analysis.task_begin(task)
+            log_append(shard, "dispatch", task=task.task_id)
+            if shard.repl is not None:
+                yield from shard.repl.throttle()
+            trace.count("shard.dispatches")
+            start = sim.now
+            try:
+                node = schedule.node_of(task)
+                if task.kind == TaskKind.CLASSICAL:
+                    yield from run_classical(task)
+                elif task.kind == TaskKind.TARGET_ENTER_DATA:
+                    yield from run_enter_data(shard, task, node)
+                elif task.kind == TaskKind.TARGET_EXIT_DATA:
+                    yield from run_exit_data(shard, task)
+                else:
+                    yield from run_target(shard, task, node, dedup)
+            finally:
+                slots.release()
+                if enabled:
+                    obs.gauge_add("head.inflight", -1)
+            result.task_intervals[task.task_id] = (start, sim.now)
+            shard.stats.busy_time += sim.now - start
+            trace.record("task", task.name, start, sim.now)
+            analysis.task_end(task)
+            complete(task)
+
+        def run_classical(task: Task):
+            analysis.on_host_task(task, dm)
+            head = cluster.head
+            yield head.cpu.request()
+            try:
+                if task.cost:
+                    yield sim.timeout(head.compute_time(task.cost))
+                if task.fn is not None:
+                    task.fn(*(d.buffer.data for d in task.deps))
+            finally:
+                head.cpu.release()
+
+        def run_enter_data(shard: _Shard, task: Task, node: int):
+            if node == HOST:
+                return
+            moves = []
+            for buf in task.buffers:
+                moves.extend(dm.plan_enter_data(buf, node))
+            yield from perform_moves(shard, moves)
+            for buf in task.buffers:
+                dm.commit_enter_data(buf, node)
+
+        def run_exit_data(shard: _Shard, task: Task):
+            moves = []
+            for buf in task.buffers:
+                moves.extend(dm.plan_exit_data(buf))
+            yield from perform_moves(shard, moves)
+            for buf in task.buffers:
+                removals = dm.commit_exit_data(buf)
+                yield from perform_deletes(shard, removals)
+
+        def run_target(shard: _Shard, task: Task, node: int, dedup: bool):
+            moves, allocs = dm.plan_for_task(task, node)
+            for mv in moves:
+                analysis.on_move(task, mv.buffer)
+            for buf in allocs:
+                yield from events.alloc(node, buf.buffer_id,
+                                        payload=buf.data,
+                                        origin=shard.manager,
+                                        nbytes=buf.nbytes, label=buf.name,
+                                        owner=task.name)
+                dm.commit_alloc(buf, node)
+            yield from perform_moves(shard, moves)
+            detected = yield from events.execute(
+                node, task, origin=shard.manager, dedup=dedup
+            )
+            if task.task_id not in dm_done:
+                # Guard the re-dispatch path: a manager that died after
+                # committing but before logging must not double-commit.
+                dm_done.add(task.task_id)
+                stale = dm.commit_task_done(
+                    task, node,
+                    written_ids=set(detected)
+                    if detected is not None else None,
+                )
+                yield from perform_deletes(shard, stale)
+
+        # -- membership & failover -----------------------------------------
+        def on_death(dead: int, by: int) -> None:
+            target = None
+            for shard in shards:
+                if shard.manager == dead:
+                    target = shard
+                    break
+            if target is None:
+                # A compute node died: the sharded plane has no worker
+                # recovery (that is FaultTolerantRuntime's machinery).
+                fail_run(ShardPlaneError(
+                    f"worker node {dead} died under the sharded plane; "
+                    f"worker fault tolerance needs FaultTolerantRuntime"
+                ))
+                return
+            if target.repl is None:
+                fail_run(ShardPlaneError(
+                    f"shard {target.sid} manager (node {dead}) died "
+                    f"with no standbys (head_standbys=0)"
+                ))
+                return
+            sim.process(failover(target, by),
+                        name=f"shard{target.sid}-failover")
+
+        def failover(shard: _Shard, by: int):
+            old = shard.manager
+            shard.failing = True
+            trace.count("shard.failovers")
+            shard.stats.failovers += 1
+            if not events.node_failed(old):
+                events.fail_node(old)  # STONITH: silence the old manager
+            for proc in list(shard.procs):
+                if proc.is_alive:
+                    proc.interrupt()
+            shard.procs.clear()
+            for pump in shard.pumps:
+                if pump.is_alive:
+                    pump.interrupt()
+            shard.pumps = []
+            outcome = yield from shard.repl.elect(
+                by, exclude=frozenset({old})
+            )
+            if outcome is None:
+                fail_run(ShardPlaneError(
+                    f"shard {shard.sid}: no live standby left to elect"
+                ))
+                return
+            winner, votes = outcome
+            live = [n for n in range(cluster.num_nodes)
+                    if not events.node_failed(n)]
+            yield from shard.repl.announce(by, winner, live)
+            shard.log.adopt(shard.repl.replicas[winner],
+                            shard.log.epoch + 1)
+            shard.repl.set_head(winner, votes)
+            shard.manager = winner
+            shard.stats.manager = winner
+            # Replay the adopted log into a fresh manager state.
+            replay = len(shard.log.records) * cfg.log_replay_unit_cost
+            if replay:
+                yield sim.timeout(replay)
+            shard.slots = Resource(
+                sim, capacity=cfg.head_threads,
+                name=f"shard{shard.sid}-threads-e{shard.log.epoch}",
+            )
+            start_services(shard)
+            for standby in shard.repl.live_standbys():
+                shard.pumps.append(sim.process(
+                    shielded(shard.repl.pump(standby)),
+                    name=f"shard{shard.sid}-pump{standby}",
+                ))
+            dispatched = {
+                rec.data["task"] for rec in shard.log.records
+                if rec.kind == "dispatch"
+            }
+            # Re-send leases whose NOTIFY may have died with the old
+            # manager (idempotent: the consumer-side dedup and the
+            # producer-side subscription set both absorb replays).
+            # Completed producers are NOT excluded: a producer that
+            # finished before the crash is exactly the one whose NOTIFY
+            # may have been in flight to the dying manager, and the
+            # producer-side lease service answers those immediately.
+            for producer_id in sorted(lease_needs[shard.sid]):
+                if producer_id not in shard.notified:
+                    send_lease(shard, producer_id)
+            # The symmetric loss: a LEASE in flight *to* the old
+            # manager died with it, so consumers of this shard's
+            # producers re-subscribe against the new manager.
+            for other in shards:
+                if other.sid == shard.sid or other.failing:
+                    continue
+                for producer_id in sorted(lease_needs[other.sid]):
+                    if owner_of(producer_id) == shard.sid \
+                            and producer_id not in other.notified:
+                        send_lease(other, producer_id)
+            # Re-notify subscribers of already-completed local producers
+            # (a NOTIFY in flight when the manager died is lost).
+            for producer_id, subscribers in sorted(shard.subs.items()):
+                if producer_id in completed:
+                    for sc in sorted(subscribers):
+                        send_notify(shard, producer_id, sc)
+            # Re-issue the epoch's work: everything ready and not done.
+            shard.issued = {
+                tid for tid in shard.issued if tid in completed
+            }
+            shard.failing = False
+            for task in directory.tasks_of(shard.sid):
+                tid = task.task_id
+                if (tid in completed or tid in shard.issued
+                        or remaining[tid] != 0):
+                    continue
+                shard.issued.add(tid)
+                _spawn_frame(shard, task, dedup=tid in dispatched)
+
+        def injector(at: float, node: int):
+            yield sim.timeout(at)
+            if not events.node_failed(node):
+                events.fail_node(node)
+
+        # -- manager and main processes ------------------------------------
+        def manager_body(shard: _Shard):
+            yield plane_up
+            own = directory.tasks_of(shard.sid)
+            creation = len(own) * cfg.task_creation_overhead
+            if creation:
+                yield sim.timeout(creation)
+            sched_cost = (
+                shard.sub_edges
+                * max(len(shard.nodes), 1)
+                * cfg.schedule_unit_cost
+            )
+            if sched_cost:
+                yield sim.timeout(sched_cost)
+            result.scheduling_time = max(result.scheduling_time,
+                                         sched_cost)
+            if shard.log is not None:
+                log_append(shard, "bootstrap",
+                           tasks=len(own), sid=shard.sid)
+                yield from shard.repl.flush()
+            for producer_id in sorted(lease_needs[shard.sid]):
+                send_lease(shard, producer_id)
+            for task in own:
+                if remaining[task.task_id] == 0:
+                    spawn_task(task)
+
+        def main():
+            try:
+                yield from main_body()
+            except BaseException:
+                if events._started:
+                    for node_id in range(cluster.num_nodes):
+                        if not events.node_failed(node_id):
+                            events.fail_node(node_id)
+                raise
+
+        def main_body():
+            span = trace.begin("runtime", "startup")
+            obs_span = obs.begin("sched", "startup", 0)
+            yield sim.timeout(cfg.startup_time)
+            events.start()
+            if membership is not None:
+                membership.on_detect = on_death
+                membership.on_head_detect = on_death
+                membership.start()
+            for shard in shards:
+                if shard.repl is not None:
+                    shard.repl.start()
+                    for standby in shard.repl.live_standbys():
+                        shard.pumps.append(sim.process(
+                            shielded(shard.repl.pump(standby)),
+                            name=f"shard{shard.sid}-pump{standby}",
+                        ))
+                start_services(shard)
+            for at, node in self.inject_failures:
+                sim.process(injector(at, node), name=f"kill@{node}")
+            trace.end(span)
+            obs.end(obs_span)
+            result.startup_time = cfg.startup_time
+            plane_up.succeed()
+            if pending == 0 and not all_done.triggered:
+                all_done.succeed()
+            yield all_done
+            if membership is not None:
+                membership.stop()
+            span = trace.begin("runtime", "shutdown")
+            obs_span = obs.begin("sched", "shutdown", 0)
+            yield from events.shutdown()
+            yield sim.timeout(cfg.shutdown_time)
+            trace.end(span)
+            obs.end(obs_span)
+            result.shutdown_time = cfg.shutdown_time
+
+        for shard in shards:
+            sim.process(manager_body(shard),
+                        name=f"shard{shard.sid}-manager")
+        main_proc = sim.process(main(), name="shard-main")
+        net_bytes0 = cluster.network.total_bytes
+        net_msgs0 = cluster.network.total_messages
+
+        def finish() -> ShardRunResult:
+            result.makespan = sim.now - t0
+            result.counters = dict(trace.counters)
+            result.network_bytes = cluster.network.total_bytes - net_bytes0
+            result.network_messages = (
+                cluster.network.total_messages - net_msgs0
+            )
+            result.shard_stats = {s.sid: s.stats for s in shards}
+            if membership is not None:
+                result.membership_timeline = list(membership.timeline)
+                result.detections = list(membership.detections)
+                result.gossip_rounds = membership.rounds
+            if obs.enabled:
+                for stat, value in mpi.stats.items():
+                    obs.count(f"mpi.transport.{stat}", value)
+                for counter_name, value in trace.counters.items():
+                    obs.count(counter_name, value)
+                result.obs = obs
+            if analysis.enabled:
+                result.analysis = analysis.finalize(
+                    [mpi], failed=events._failed, obs=obs
+                )
+            return result
+
+        return main_proc, finish

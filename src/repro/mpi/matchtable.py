@@ -14,6 +14,8 @@ reference) while making both directions O(1) for the common case:
 
 * buffered messages live in per-``(src, tag)`` slots, stamped with a
   global arrival sequence so wildcard receives can compare slot heads;
+  the ``ANY_SOURCE``-by-tag pattern — mass fan-in on one tag — skips
+  even that scan via a per-tag arrival FIFO with lazy stale discard;
 * pending receives live in four pattern buckets — exact ``(src, tag)``,
   ``ANY_SOURCE``-by-tag, ``ANY_TAG``-by-src, and fully wild — stamped
   with a posting sequence so a delivery picks the earliest-posted match
@@ -58,6 +60,16 @@ class MatchStore(Store):
         super().__init__(sim, capacity=None, name=name)
         #: Buffered messages per (src, tag), as (arrival_seq, msg).
         self._slots: dict[tuple[int, int], deque[tuple[int, Any]]] = {}
+        #: Per-tag arrival FIFO of (arrival_seq, slot_key).  An
+        #: ``ANY_SOURCE``-by-tag receive pops this instead of scanning
+        #: every live ``(src, tag)`` slot: with N sources fanning in on
+        #: one tag (the event system's drain pattern) the slot scan is
+        #: O(N) per receive — O(N^2) per drain.  Entries whose message
+        #: was consumed by another pattern are discarded lazily; within
+        #: one slot arrivals strictly increase, so the first live entry
+        #: is the tag's global earliest arrival — the same message the
+        #: scan would pick, keeping the digest tests bit-identical.
+        self._tag_fifo: dict[int, deque[tuple[int, tuple[int, int]]]] = {}
         self._arrival = 0
         #: Pending receives per pattern, as (post_seq, event, key).
         self._g_exact: dict[tuple[int, int], deque[tuple[int, Event]]] = {}
@@ -138,6 +150,11 @@ class MatchStore(Store):
                 slot = deque()
                 self._slots[(src, tag)] = slot
             slot.append((self._arrival, item))
+            fifo = self._tag_fifo.get(tag)
+            if fifo is None:
+                fifo = deque()
+                self._tag_fifo[tag] = fifo
+            fifo.append((self._arrival, (src, tag)))
             self._arrival += 1
             self._n_items += 1
         return ev
@@ -153,6 +170,24 @@ class MatchStore(Store):
             if slot:
                 best_key = (src, tag)
                 best_arr = slot[0][0]
+        elif src == _ANY and tag != _ANY:
+            # ANY_SOURCE by tag: pop the per-tag arrival FIFO instead
+            # of scanning every live slot.  Entries are stale when the
+            # slot is gone or its head arrival moved past the recorded
+            # one (consumed by an exact / by-src / fully-wild receive);
+            # the first live entry is the tag's earliest arrival.
+            fifo = self._tag_fifo.get(tag)
+            while fifo:
+                arr, key = fifo[0]
+                slot = self._slots.get(key)
+                if slot is not None and slot[0][0] == arr:
+                    fifo.popleft()
+                    best_key = key
+                    best_arr = arr
+                    break
+                fifo.popleft()  # stale: message already consumed
+            if fifo is not None and not fifo:
+                del self._tag_fifo[tag]
         else:
             # Wildcard: compare the heads of the matching slots.  Slots
             # are deleted when drained, so this scans live traffic

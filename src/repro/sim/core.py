@@ -210,46 +210,58 @@ class Process(Event):
             self._advance(throw=ev._value)
 
     def _advance(self, send: Any = None, throw: BaseException | None = None) -> None:
-        if self._value is not _PENDING:  # interrupted after completion; ignore
-            return
-        self._started = True
-        self.sim._active_process = self
-        try:
-            if throw is not None:
-                nxt = self._gen.throw(throw)
-            else:
-                nxt = self._gen.send(send)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            if not self.callbacks:
-                # Nobody is waiting: crash the simulation loudly instead
-                # of silently swallowing the error.
-                self.sim._crash = exc
-            self.fail(exc)
-            return
-        finally:
-            self.sim._active_process = None
+        while True:
+            if self._value is not _PENDING:  # interrupted after completion
+                return
+            self._started = True
+            self.sim._active_process = self
+            try:
+                if throw is not None:
+                    nxt = self._gen.throw(throw)
+                else:
+                    nxt = self._gen.send(send)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                if not self.callbacks:
+                    # Nobody is waiting: crash the simulation loudly
+                    # instead of silently swallowing the error.
+                    self.sim._crash = exc
+                self.fail(exc)
+                return
+            finally:
+                self.sim._active_process = None
 
-        if not isinstance(nxt, Event):
-            err = SimulationError(
-                f"process {self.name!r} yielded {nxt!r}; processes must yield Events"
-            )
-            self._gen.close()
-            self.fail(err)
-            if not self.callbacks:
-                self.sim._crash = err
-            return
-        if nxt.sim is not self.sim:
-            raise SimulationError("yielded event belongs to a different simulator")
-        self._waiting_on = nxt
-        # Inlined add_callback (one call frame per yield saved).
-        callbacks = nxt.callbacks
-        if callbacks is None:
-            self._resume(nxt)
-        else:
+            if not isinstance(nxt, Event):
+                err = SimulationError(
+                    f"process {self.name!r} yielded {nxt!r}; processes must yield Events"
+                )
+                self._gen.close()
+                self.fail(err)
+                if not self.callbacks:
+                    self.sim._crash = err
+                return
+            if nxt.sim is not self.sim:
+                raise SimulationError(
+                    "yielded event belongs to a different simulator"
+                )
+            # Inlined add_callback (one call frame per yield saved).
+            callbacks = nxt.callbacks
+            if callbacks is None:
+                # Already-processed event: resume in place.  Looping here
+                # (a trampoline) instead of recursing through _resume
+                # keeps the stack flat — a generator yielding N completed
+                # events (e.g. shutdown sweeping hundreds of node gates)
+                # would otherwise nest ~2N frames and overflow at scale.
+                if nxt._ok:
+                    send, throw = nxt._value, None
+                else:
+                    send, throw = None, nxt._value
+                continue
+            self._waiting_on = nxt
             callbacks.append(self._resume)
+            return
 
 
 class Simulator:

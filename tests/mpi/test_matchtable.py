@@ -104,6 +104,47 @@ class TestMatching:
         assert store.peek(lambda m: m.src == 9) is None
 
 
+class TestTagFifo:
+    """The ANY_SOURCE-by-tag per-tag arrival FIFO (the mass fan-in
+    fast path) must survive other patterns consuming its entries."""
+
+    def test_stale_head_discarded_after_exact_receive(self):
+        store = MatchStore(Simulator())
+        first, second = Msg(1, 7), Msg(2, 7)
+        store.put(first)
+        store.put(second)
+        # An exact receive consumes the FIFO's head out from under it.
+        assert store.get_match(1, 7).value is first
+        assert store.get_match(ANY_SOURCE, 7).value is second
+
+    def test_stale_entries_from_fully_wild_receive(self):
+        store = MatchStore(Simulator())
+        msgs = [Msg(0, 5), Msg(1, 5), Msg(2, 5)]
+        for m in msgs:
+            store.put(m)
+        assert store.get_match(ANY_SOURCE, ANY_TAG).value is msgs[0]
+        assert store.get_match(ANY_SOURCE, 5).value is msgs[1]
+        assert store.get_match(ANY_SOURCE, 5).value is msgs[2]
+
+    def test_fifo_drained_and_rebuilt(self):
+        store = MatchStore(Simulator())
+        store.put(Msg(4, 9))
+        assert store.get_match(ANY_SOURCE, 9).value.src == 4
+        assert 9 not in store._tag_fifo  # drained FIFOs are deleted
+        late = Msg(5, 9)
+        store.put(late)
+        assert store.get_match(ANY_SOURCE, 9).value is late
+
+    def test_mass_fan_in_drains_in_arrival_order(self):
+        store = MatchStore(Simulator())
+        msgs = [Msg(src, 2) for src in range(64)]
+        for m in msgs:
+            store.put(m)
+        got = [store.get_match(ANY_SOURCE, 2).value for _ in msgs]
+        assert got == msgs
+        assert len(store) == 0
+
+
 class TestCancel:
     def test_cancel_withdraws_pending_receive(self):
         store = MatchStore(Simulator())
